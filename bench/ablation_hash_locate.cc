@@ -1,0 +1,61 @@
+// Ablation: equality locate via the dictionary's binary search vs the
+// hash accelerator, across formats.
+//
+// Quantifies the survey's remark (paper §3.2) that hashing has very good
+// locate performance: as a side index it makes equality probes nearly
+// format-independent, at ~8-16 bytes per entry.
+#include <cstdio>
+
+#include "bench/survey_harness.h"
+#include "dict/hash_index.h"
+#include "util/stopwatch.h"
+
+using namespace adict;
+
+int main() {
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);
+  const uint64_t n = bench::EnvOr("ADICT_DATASET_N", 50000);
+  const uint64_t probes = bench::EnvOr("ADICT_PROBES", 50000);
+  const std::vector<std::string> sorted = GenerateSurveyDataset("mat", n);
+
+  std::printf("Ablation: equality locate, %llu material numbers, %llu probes\n\n",
+              static_cast<unsigned long long>(sorted.size()),
+              static_cast<unsigned long long>(probes));
+  std::printf("%-16s %14s %12s %16s\n", "variant", "locate[us]", "hash[us]",
+              "index[KB]");
+  for (DictFormat format :
+       {DictFormat::kArray, DictFormat::kArrayFixed, DictFormat::kFcBlock,
+        DictFormat::kFcBlockHu, DictFormat::kFcBlockRp12,
+        DictFormat::kColumnBc}) {
+    auto dict = BuildDictionary(format, sorted);
+    const HashLocateIndex index(*dict);
+
+    Rng rng(1);
+    Stopwatch watch;
+    uint64_t hits = 0;
+    for (uint64_t i = 0; i < probes; ++i) {
+      hits += dict->Locate(sorted[rng.Uniform(sorted.size())]).found;
+    }
+    const double locate_us = watch.ElapsedMicros() / probes;
+
+    Rng rng2(1);
+    watch.Restart();
+    uint64_t hash_hits = 0;
+    for (uint64_t i = 0; i < probes; ++i) {
+      hash_hits +=
+          index.Lookup(sorted[rng2.Uniform(sorted.size())]) !=
+          HashLocateIndex::kNotFound;
+    }
+    const double hash_us = watch.ElapsedMicros() / probes;
+    ADICT_CHECK(hits == probes && hash_hits == probes);
+
+    std::printf("%-16s %14.3f %12.3f %16.1f\n",
+                std::string(DictFormatName(format)).c_str(), locate_us, hash_us,
+                static_cast<double>(index.MemoryBytes()) / 1024.0);
+  }
+  std::printf(
+      "\nExpected shape: binary-search locate degrades with decode cost\n"
+      "(hu, rp, column bc); the hash index holds equality probes near the\n"
+      "cost of one extract regardless of format.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// google-benchmark microbenchmarks of the dictionary operations (extract,
+// locate, construct) across all formats — the raw measurements behind the
+// time axis of Figure 3 and the cost-model constants of §4.1.
+#include <benchmark/benchmark.h>
+
+#include <array>
+#include <memory>
+
+#include "datasets/generators.h"
+#include "dict/dictionary.h"
+#include "util/rng.h"
+
+namespace adict {
+namespace {
+
+constexpr uint64_t kNumStrings = 20000;
+
+const std::vector<std::string>& Dataset() {
+  static const std::vector<std::string>* data =
+      new std::vector<std::string>(GenerateSurveyDataset("src", kNumStrings));
+  return *data;
+}
+
+const Dictionary& CachedDictionary(DictFormat format) {
+  static std::array<std::unique_ptr<Dictionary>, kNumDictFormats> cache;
+  auto& slot = cache[static_cast<int>(format)];
+  if (!slot) slot = BuildDictionary(format, Dataset());
+  return *slot;
+}
+
+void BM_Extract(benchmark::State& state) {
+  const DictFormat format = static_cast<DictFormat>(state.range(0));
+  const Dictionary& dict = CachedDictionary(format);
+  Rng rng(1);
+  std::string scratch;
+  for (auto _ : state) {
+    scratch.clear();
+    dict.ExtractInto(static_cast<uint32_t>(rng.Uniform(dict.size())), &scratch);
+    benchmark::DoNotOptimize(scratch.data());
+  }
+  state.SetLabel(std::string(DictFormatName(format)));
+}
+
+void BM_Locate(benchmark::State& state) {
+  const DictFormat format = static_cast<DictFormat>(state.range(0));
+  const Dictionary& dict = CachedDictionary(format);
+  const std::vector<std::string>& data = Dataset();
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dict.Locate(data[rng.Uniform(data.size())]));
+  }
+  state.SetLabel(std::string(DictFormatName(format)));
+}
+
+void BM_Construct(benchmark::State& state) {
+  const DictFormat format = static_cast<DictFormat>(state.range(0));
+  const std::vector<std::string>& data = Dataset();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildDictionary(format, data));
+  }
+  state.SetItemsProcessed(state.iterations() * data.size());
+  state.SetLabel(std::string(DictFormatName(format)));
+}
+
+void RegisterAll() {
+  for (int f = 0; f < kNumDictFormats; ++f) {
+    benchmark::RegisterBenchmark("BM_Extract", BM_Extract)->Arg(f);
+    benchmark::RegisterBenchmark("BM_Locate", BM_Locate)->Arg(f);
+  }
+  // Construction is expensive for the grammar-based formats; keep the list
+  // representative rather than exhaustive.
+  for (DictFormat format :
+       {DictFormat::kArray, DictFormat::kArrayBc, DictFormat::kArrayHu,
+        DictFormat::kFcBlock, DictFormat::kFcBlockRp12, DictFormat::kColumnBc}) {
+    benchmark::RegisterBenchmark("BM_Construct", BM_Construct)
+        ->Arg(static_cast<int>(format))
+        ->Unit(benchmark::kMillisecond)
+        ->MinTime(0.02);
+  }
+}
+
+}  // namespace
+}  // namespace adict
+
+int main(int argc, char** argv) {
+  adict::RegisterAll();
+  if (argc == 1) {
+    // Keep the default full-suite run short; pass flags to override.
+    static char arg0[] = "dict_ops_benchmark";
+    static char arg1[] = "--benchmark_min_time=0.05s";
+    static char* default_argv[] = {arg0, arg1, nullptr};
+    int default_argc = 2;
+    benchmark::Initialize(&default_argc, default_argv);
+  } else {
+    benchmark::Initialize(&argc, argv);
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

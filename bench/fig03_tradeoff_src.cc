@@ -1,0 +1,42 @@
+// Figure 3: trade-off between compression rate and extract runtime for all
+// 18 dictionary variants on the src data set.
+//
+// Paper shape: most variants lie near a pareto curve from fast-but-big
+// (array, array fixed) over balanced (ng/bc/hu, front coding) to
+// small-but-slow (rp 12/16); array fixed and column bc are far off the
+// curve on this variable-length data (about 2x and 3.5x the raw data).
+#include <cstdio>
+
+#include "bench/survey_harness.h"
+
+using namespace adict;
+
+int main() {
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);
+  const uint64_t n = bench::EnvOr("ADICT_DATASET_N", 50000);
+  const uint64_t probes = bench::EnvOr("ADICT_PROBES", 30000);
+  const std::vector<std::string> sorted = GenerateSurveyDataset("src", n);
+  const uint64_t raw = RawDataBytes(sorted);
+
+  std::printf("Figure 3: compression rate vs extract runtime, src data set\n");
+  std::printf("(%llu strings, %.1f MB raw, %llu random extracts per variant)\n\n",
+              static_cast<unsigned long long>(sorted.size()),
+              static_cast<double>(raw) / 1e6,
+              static_cast<unsigned long long>(probes));
+  std::printf("%-16s %12s %10s %12s %12s %12s\n", "variant", "memory[KB]",
+              "compr", "extract[us]", "locate[us]", "constr[us]");
+  for (DictFormat format : AllDictFormats()) {
+    const bench::VariantMeasurement m =
+        bench::MeasureVariant(format, sorted, probes);
+    std::printf("%-16s %12.1f %10.3f %12.3f %12.3f %12.3f\n",
+                std::string(DictFormatName(format)).c_str(),
+                static_cast<double>(m.memory_bytes) / 1024.0,
+                m.compression_rate, m.extract_us, m.locate_us, m.construct_us);
+  }
+  std::printf(
+      "\nExpected shape: array/array fixed fastest; ng/bc faster than hu\n"
+      "(fixed-width codes); rp 12/16 smallest but slowest; front coding\n"
+      "variants smaller and slower than their array equivalents; array fixed\n"
+      "and column bc larger than the raw data on this data set.\n");
+  return 0;
+}

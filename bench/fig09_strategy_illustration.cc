@@ -1,0 +1,57 @@
+// Figure 9: possible distribution of dictionary performances (src data,
+// chosen extract/locate frequencies and merge interval) with the dividing
+// line of the trade-off strategy, the smallest and the selected variant.
+#include <cstdio>
+
+#include "bench/survey_harness.h"
+#include "core/compression_manager.h"
+
+using namespace adict;
+
+int main() {
+  const uint64_t n = bench::EnvOr("ADICT_DATASET_N", 20000);
+  const std::vector<std::string> sorted = GenerateSurveyDataset("src", n);
+  const DictionaryProperties props =
+      SampleProperties(sorted, SamplingConfig::Default());
+
+  // A hot column: the smallest variant would spend a substantial part of
+  // the merge interval answering extracts, so the tilted line visibly
+  // favors faster variants.
+  ColumnUsage usage;
+  usage.num_extracts = 100000000;
+  usage.num_locates = 200000;
+  usage.lifetime_seconds = 600;
+  usage.column_vector_bytes = 250000;
+
+  const CostModel costs = CostModel::Default();
+  const std::vector<Candidate> candidates =
+      EvaluateCandidates(props, usage, costs);
+
+  std::printf("Figure 9: dictionary performance distribution and dividing line\n");
+  std::printf("(src data set, 2M extracts / 20k locates per 600s lifetime)\n\n");
+  for (double c : {0.1, 0.5}) {
+    const SelectionDetails details =
+        SelectFormatDetailed(candidates, c, TradeoffStrategy::kTilt);
+    std::printf("c = %.2f  strategy = tilt  alpha = %.1f\n", c, details.alpha);
+    std::printf("%-16s %14s %14s %14s %-10s\n", "variant", "rel_time",
+                "size[KB]", "line f(t)[KB]", "status");
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      const Candidate& cand = candidates[i];
+      const bool included = cand.size_bytes <= details.threshold[i];
+      const char* status = cand.format == details.selected ? "SELECTED"
+                           : cand.format == details.smallest ? "smallest"
+                           : included ? "included"
+                                      : "excluded";
+      std::printf("%-16s %14.6f %14.1f %14.1f %-10s\n",
+                  std::string(DictFormatName(cand.format)).c_str(),
+                  cand.rel_time, cand.size_bytes / 1024.0,
+                  details.threshold[i] / 1024.0, status);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Expected shape: all variants below the dividing line are included;\n"
+      "the selected variant is the fastest included one; raising c moves the\n"
+      "line up and the selection towards faster, larger variants.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Shared helpers for the survey benchmarks (Figures 3-5): building every
+// dictionary variant over a data set and measuring compression rate and
+// extract runtime the way the paper does.
+#ifndef ADICT_BENCH_SURVEY_HARNESS_H_
+#define ADICT_BENCH_SURVEY_HARNESS_H_
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "datasets/generators.h"
+#include "dict/dictionary.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace adict {
+namespace bench {
+
+/// Reads a positive environment override, else returns the default.
+inline uint64_t EnvOr(const char* name, uint64_t def) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return def;
+  const long long parsed = std::atoll(value);
+  return parsed > 0 ? static_cast<uint64_t>(parsed) : def;
+}
+
+inline double EnvOrDouble(const char* name, double def) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return def;
+  const double parsed = std::atof(value);
+  return parsed > 0 ? parsed : def;
+}
+
+struct VariantMeasurement {
+  DictFormat format;
+  size_t memory_bytes;
+  double compression_rate;  // raw bytes / memory (paper Definition 2)
+  double extract_us;        // average random extract
+  double locate_us;         // average random locate (hit)
+  double construct_us;      // per string
+};
+
+/// Builds `format` over `sorted` and measures it.
+inline VariantMeasurement MeasureVariant(DictFormat format,
+                                         const std::vector<std::string>& sorted,
+                                         uint64_t probes, uint64_t seed = 7) {
+  Stopwatch watch;
+  const std::unique_ptr<Dictionary> dict = BuildDictionary(format, sorted);
+  const double construct_us = watch.ElapsedMicros() / sorted.size();
+
+  const uint64_t raw = RawDataBytes(sorted);
+  Rng rng(seed);
+  std::string scratch;
+  watch.Restart();
+  for (uint64_t i = 0; i < probes; ++i) {
+    scratch.clear();
+    dict->ExtractInto(static_cast<uint32_t>(rng.Uniform(dict->size())),
+                      &scratch);
+  }
+  const double extract_us = watch.ElapsedMicros() / probes;
+
+  const uint64_t locate_probes = probes / 4 + 1;
+  watch.Restart();
+  for (uint64_t i = 0; i < locate_probes; ++i) {
+    dict->Locate(sorted[rng.Uniform(sorted.size())]);
+  }
+  const double locate_us = watch.ElapsedMicros() / locate_probes;
+
+  return {format,
+          dict->MemoryBytes(),
+          static_cast<double>(raw) / static_cast<double>(dict->MemoryBytes()),
+          extract_us,
+          locate_us,
+          construct_us};
+}
+
+/// Measures all 18 variants over a data set.
+inline std::vector<VariantMeasurement> MeasureAllVariants(
+    const std::vector<std::string>& sorted, uint64_t probes) {
+  std::vector<VariantMeasurement> all;
+  for (DictFormat format : AllDictFormats()) {
+    all.push_back(MeasureVariant(format, sorted, probes));
+  }
+  return all;
+}
+
+}  // namespace bench
+}  // namespace adict
+
+#endif  // ADICT_BENCH_SURVEY_HARNESS_H_

@@ -1,0 +1,49 @@
+// Supplementary survey table: locate and construction runtimes of all 18
+// variants on all 9 data sets.
+//
+// The paper measures these trade-offs too but defers the detailed numbers
+// to the companion thesis [Ratsch 2013] for space; this binary regenerates
+// the full picture (extract is covered by Figures 3 and 5).
+#include <cstdio>
+
+#include "bench/survey_harness.h"
+
+using namespace adict;
+
+int main() {
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);
+  const uint64_t n = bench::EnvOr("ADICT_DATASET_N", 10000);
+  const uint64_t probes = bench::EnvOr("ADICT_PROBES", 8000);
+
+  std::printf(
+      "Supplementary: locate [us] / construct [us per string] per variant "
+      "and data set (%llu strings)\n\n",
+      static_cast<unsigned long long>(n));
+  std::printf("%-16s", "variant");
+  for (std::string_view name : SurveyDatasetNames()) {
+    std::printf(" %13s", std::string(name).c_str());
+  }
+  std::printf("\n");
+
+  // One pass per data set; cache the measurements per format.
+  std::vector<std::vector<bench::VariantMeasurement>> all;
+  for (std::string_view name : SurveyDatasetNames()) {
+    all.push_back(
+        bench::MeasureAllVariants(GenerateSurveyDataset(name, n), probes));
+  }
+  int f = 0;
+  for (DictFormat format : AllDictFormats()) {
+    std::printf("%-16s", std::string(DictFormatName(format)).c_str());
+    for (const auto& per_dataset : all) {
+      std::printf(" %6.2f/%6.2f", per_dataset[f].locate_us,
+                  per_dataset[f].construct_us);
+    }
+    std::printf("\n");
+    ++f;
+  }
+  std::printf(
+      "\nExpected shape: locate tracks extract cost plus log2(n) decode-and-\n"
+      "compare probes; construction is dominated by codec training, with\n"
+      "Re-Pair an order of magnitude above everything else.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Shared helpers for the TPC-H evaluation benchmarks (Figures 10 and 11):
+// tracing the workload's dictionary usage, applying workload-driven
+// configurations, and timing the 22 queries.
+#ifndef ADICT_BENCH_TPCH_HARNESS_H_
+#define ADICT_BENCH_TPCH_HARNESS_H_
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "bench/survey_harness.h"
+#include "core/compression_manager.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+#include "util/stopwatch.h"
+
+namespace adict {
+namespace bench {
+
+/// One string column with its traced workload and materialized dictionary.
+struct TracedColumn {
+  Table* table;
+  size_t column_index;
+  std::string name;
+  std::vector<std::string> dict_values;
+  ColumnUsage usage;
+};
+
+/// Runs the 22 queries once on `db`, then snapshots every string column's
+/// usage as if the workload had run `multiplier` times (the paper uses 100
+/// repetitions to make construction costs negligible).
+inline std::vector<TracedColumn> TraceTpchWorkload(TpchDatabase* db,
+                                                   int multiplier) {
+  db->ResetUsage();
+  Stopwatch watch;
+  for (int q = 1; q <= kNumTpchQueries; ++q) {
+    (void)RunTpchQuery(*db, q);
+  }
+  const double lifetime = watch.ElapsedSeconds() * multiplier;
+
+  std::vector<TracedColumn> traced;
+  for (Table* table : db->tables()) {
+    for (size_t i = 0; i < table->string_columns().size(); ++i) {
+      StringColumn& column = table->string_columns()[i];
+      ColumnUsage usage = column.TracedUsage(lifetime);
+      usage.num_extracts *= multiplier;
+      usage.num_locates *= multiplier;
+      traced.push_back({table, i, table->string_column_name(i),
+                        column.MaterializeDictionary(), usage});
+    }
+  }
+  return traced;
+}
+
+/// Per-column format selection for one value of the global parameter c.
+inline std::vector<DictFormat> SelectConfiguration(
+    const std::vector<TracedColumn>& traced, const CompressionManager& manager,
+    double c) {
+  std::vector<DictFormat> formats;
+  formats.reserve(traced.size());
+  for (const TracedColumn& column : traced) {
+    const std::vector<Candidate> candidates =
+        manager.Evaluate(column.dict_values, column.usage);
+    formats.push_back(
+        SelectFormat(candidates, c, manager.options().strategy));
+  }
+  return formats;
+}
+
+/// Rebuilds the traced columns' dictionaries in the given formats.
+inline void ApplyConfiguration(const std::vector<TracedColumn>& traced,
+                               const std::vector<DictFormat>& formats) {
+  for (size_t i = 0; i < traced.size(); ++i) {
+    traced[i].table->string_columns()[traced[i].column_index].ChangeFormat(
+        formats[i]);
+  }
+}
+
+/// Sum over the 22 queries of the median runtime of `reps` executions
+/// (paper: sum of the medians of 100 executions), in seconds.
+inline double MeasureWorkloadSeconds(const TpchDatabase& db, int reps) {
+  double total = 0;
+  std::vector<double> times(reps);
+  for (int q = 1; q <= kNumTpchQueries; ++q) {
+    for (int r = 0; r < reps; ++r) {
+      Stopwatch watch;
+      (void)RunTpchQuery(db, q);
+      times[r] = watch.ElapsedSeconds();
+    }
+    std::sort(times.begin(), times.end());
+    total += times[reps / 2];
+  }
+  return total;
+}
+
+}  // namespace bench
+}  // namespace adict
+
+#endif  // ADICT_BENCH_TPCH_HARNESS_H_

@@ -1,0 +1,67 @@
+// Quickstart: build compressed string dictionaries, look values up, compare
+// formats, and let the compression manager pick one automatically.
+//
+//   $ ./build/examples/quickstart
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/compression_manager.h"
+#include "datasets/generators.h"
+#include "dict/dictionary.h"
+
+using namespace adict;
+
+int main() {
+  // A dictionary is built from the sorted distinct values of a column.
+  std::vector<std::string> values = {
+      "AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY",
+  };
+
+  // 1. Build a dictionary in a specific format and use it.
+  auto dict = BuildDictionary(DictFormat::kFcBlock, values);
+  std::printf("extract(2)            -> %s\n", dict->Extract(2).c_str());
+  const LocateResult hit = dict->Locate("HOUSEHOLD");
+  std::printf("locate(\"HOUSEHOLD\")   -> id %u (found=%d)\n", hit.id, hit.found);
+  const LocateResult miss = dict->Locate("CLOTHING");
+  std::printf("locate(\"CLOTHING\")    -> id %u (found=%d)  "
+              "// id of first greater string\n",
+              miss.id, miss.found);
+  std::printf("memory                -> %zu bytes\n\n", dict->MemoryBytes());
+
+  // 2. Compare all 18 formats on a larger, realistic column.
+  const std::vector<std::string> urls = GenerateSurveyDataset("url", 20000);
+  const uint64_t raw = RawDataBytes(urls);
+  std::printf("20000 URLs, %.1f KB raw. Sizes per format:\n",
+              static_cast<double>(raw) / 1024);
+  for (DictFormat format : AllDictFormats()) {
+    auto candidate = BuildDictionary(format, urls);
+    std::printf("  %-16s %8.1f KB  (compression rate %.2f)\n",
+                std::string(DictFormatName(format)).c_str(),
+                static_cast<double>(candidate->MemoryBytes()) / 1024,
+                static_cast<double>(raw) / candidate->MemoryBytes());
+  }
+
+  // 3. Or let the compression manager decide from the column's usage.
+  CompressionManager manager;
+  ColumnUsage usage;
+  usage.num_extracts = 50000;     // traced by the store
+  usage.num_locates = 200;
+  usage.lifetime_seconds = 600;   // merge interval
+  usage.column_vector_bytes = 40000;
+
+  manager.set_c(0.05);  // memory-pressure leaning
+  auto adaptive = manager.BuildAdaptiveDictionary(urls, usage);
+  std::printf("\ncompression manager (c=%.2f) picked: %s (%zu bytes)\n",
+              manager.c(),
+              std::string(DictFormatName(adaptive->format())).c_str(),
+              adaptive->MemoryBytes());
+
+  manager.set_c(5.0);  // plenty of head-room
+  adaptive = manager.BuildAdaptiveDictionary(urls, usage);
+  std::printf("compression manager (c=%.2f) picked: %s (%zu bytes)\n",
+              manager.c(),
+              std::string(DictFormatName(adaptive->format())).c_str(),
+              adaptive->MemoryBytes());
+  return 0;
+}

@@ -1,0 +1,82 @@
+// The compression manager (paper Section 5): decides, for every string
+// column at dictionary-rebuild time, which dictionary format to use.
+//
+// Decision flow (paper Figure 7):
+//   - local, per column: content properties (sampled), access counts, and
+//     the column vector size are reduced to (size, rel_time) per candidate
+//     format using the compression models and the runtime constants;
+//   - global: one trade-off parameter c, kept up to date by the feedback
+//     controller from memory pressure, picks the point on the space/time
+//     trade-off via the selection strategy.
+#ifndef ADICT_CORE_COMPRESSION_MANAGER_H_
+#define ADICT_CORE_COMPRESSION_MANAGER_H_
+
+#include <memory>
+
+#include "core/controller.h"
+#include "core/cost_model.h"
+#include "core/properties.h"
+#include "core/tradeoff.h"
+#include "dict/dictionary.h"
+
+namespace adict {
+
+class CompressionManager {
+ public:
+  struct Options {
+    SamplingConfig sampling = SamplingConfig::Default();
+    TradeoffStrategy strategy = TradeoffStrategy::kTilt;
+    TradeoffController::Options controller;
+  };
+
+  CompressionManager()
+      : CompressionManager(CostModel::Default(), Options{}) {}
+  CompressionManager(const CostModel& cost_model, const Options& options)
+      : cost_model_(cost_model), options_(options),
+        controller_(options.controller) {}
+
+  /// Chooses the dictionary format for a column that is about to be rebuilt
+  /// (e.g. at delta merge), based on its content and traced usage.
+  DictFormat ChooseFormat(std::span<const std::string> sorted_unique,
+                          const ColumnUsage& usage) const {
+    const DictionaryProperties props =
+        SampleProperties(sorted_unique, options_.sampling);
+    const std::vector<Candidate> candidates =
+        EvaluateCandidates(props, usage, cost_model_);
+    return SelectFormat(candidates, controller_.c(), options_.strategy);
+  }
+
+  /// Chooses and builds in one step.
+  std::unique_ptr<Dictionary> BuildAdaptiveDictionary(
+      std::span<const std::string> sorted_unique,
+      const ColumnUsage& usage) const {
+    return BuildDictionary(ChooseFormat(sorted_unique, usage), sorted_unique);
+  }
+
+  /// Exposes the candidate evaluation, e.g. for offline what-if analysis.
+  std::vector<Candidate> Evaluate(std::span<const std::string> sorted_unique,
+                                  const ColumnUsage& usage) const {
+    const DictionaryProperties props =
+        SampleProperties(sorted_unique, options_.sampling);
+    return EvaluateCandidates(props, usage, cost_model_);
+  }
+
+  /// The feedback loop driving c; feed it memory observations.
+  TradeoffController& controller() { return controller_; }
+  const TradeoffController& controller() const { return controller_; }
+
+  double c() const { return controller_.c(); }
+  void set_c(double c) { controller_.set_c(c); }
+
+  const CostModel& cost_model() const { return cost_model_; }
+  const Options& options() const { return options_; }
+
+ private:
+  CostModel cost_model_;
+  Options options_;
+  TradeoffController controller_;
+};
+
+}  // namespace adict
+
+#endif  // ADICT_CORE_COMPRESSION_MANAGER_H_

@@ -1,0 +1,38 @@
+#include "core/controller.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace adict {
+
+TradeoffController::TradeoffController(const Options& options)
+    : options_(options), c_(options.initial_c) {
+  ADICT_CHECK(options_.smoothing > 0 && options_.smoothing <= 1);
+  ADICT_CHECK(options_.adjust_factor > 1);
+  ADICT_CHECK(options_.min_c > 0 && options_.min_c <= options_.max_c);
+}
+
+double TradeoffController::Observe(double free_bytes, double total_bytes) {
+  ADICT_CHECK(total_bytes > 0);
+  const double measured = std::clamp(free_bytes / total_bytes, 0.0, 1.0);
+  if (smoothed_free_fraction_ < 0) {
+    smoothed_free_fraction_ = measured;  // first sample primes the filter
+  } else {
+    smoothed_free_fraction_ = options_.smoothing * measured +
+                              (1.0 - options_.smoothing) * smoothed_free_fraction_;
+  }
+
+  const double error = smoothed_free_fraction_ - options_.target_free_fraction;
+  if (error < -options_.dead_band) {
+    // Less free memory than desired: compress harder.
+    c_ /= options_.adjust_factor;
+  } else if (error > options_.dead_band) {
+    // Head-room available: favor speed.
+    c_ *= options_.adjust_factor;
+  }
+  c_ = std::clamp(c_, options_.min_c, options_.max_c);
+  return c_;
+}
+
+}  // namespace adict

@@ -1,0 +1,51 @@
+// Closed-loop feedback controller for the global trade-off parameter c
+// (paper §5.3, Figure 8).
+//
+// Reference input: desired amount of free memory. Measured output: current
+// free memory, smoothed to avoid over-shooting. The controller compares the
+// smoothed measurement with the target and adjusts c multiplicatively:
+// memory pressure lowers c (new dictionaries compress harder), head-room
+// raises it (new dictionaries favor speed).
+#ifndef ADICT_CORE_CONTROLLER_H_
+#define ADICT_CORE_CONTROLLER_H_
+
+namespace adict {
+
+class TradeoffController {
+ public:
+  struct Options {
+    /// Desired free memory as a fraction of total memory.
+    double target_free_fraction = 0.25;
+    /// EMA weight of the newest free-memory measurement in [0, 1].
+    double smoothing = 0.3;
+    /// Multiplicative step applied to c per adjustment ( > 1 ).
+    double adjust_factor = 1.5;
+    /// |smoothed - target| / total below which c is left unchanged.
+    double dead_band = 0.02;
+    double initial_c = 0.1;
+    double min_c = 1e-3;
+    double max_c = 10.0;
+  };
+
+  TradeoffController() : TradeoffController(Options{}) {}
+  explicit TradeoffController(const Options& options);
+
+  /// Feeds one measurement of (free, total) memory in bytes and returns the
+  /// updated trade-off parameter c.
+  double Observe(double free_bytes, double total_bytes);
+
+  double c() const { return c_; }
+  void set_c(double c) { c_ = c; }
+
+  /// Smoothed free-memory fraction after the last Observe() call.
+  double smoothed_free_fraction() const { return smoothed_free_fraction_; }
+
+ private:
+  Options options_;
+  double c_;
+  double smoothed_free_fraction_ = -1.0;  // -1: no measurement yet
+};
+
+}  // namespace adict
+
+#endif  // ADICT_CORE_CONTROLLER_H_

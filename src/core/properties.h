@@ -1,0 +1,83 @@
+// Dictionary content properties (paper Table 1) and their sampling.
+//
+// The compression models of Section 4.2 reduce every dictionary format's
+// size to properties of the column content. Some are known a priori
+// (#strings, pointers, block geometry); the rest are estimated on a uniform
+// random sample of entries or blocks. Front-coding formats depend on the
+// *suffix* stream, so most properties exist twice: once over whole strings
+// and once over front-coded suffixes.
+#ifndef ADICT_CORE_PROPERTIES_H_
+#define ADICT_CORE_PROPERTIES_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace adict {
+
+/// Sampling policy. The paper's recommended configuration is 1% with a floor
+/// of 5000 entries ("max(1%, 5000)"), which keeps >75% of predictions within
+/// 8% (Figure 6).
+struct SamplingConfig {
+  double ratio = 0.01;
+  uint64_t min_entries = 5000;
+
+  /// Exact measurement (sampling ratio 100%).
+  static SamplingConfig Exact() { return {1.0, 0}; }
+  /// The paper's default: max(1%, 5000 entries).
+  static SamplingConfig Default() { return {0.01, 5000}; }
+};
+
+/// Properties of one column's dictionary content (paper Table 1). All
+/// `double` fields are estimates extrapolated from the sample.
+struct DictionaryProperties {
+  // Known a priori.
+  uint64_t num_strings = 0;
+  uint64_t pointer_bytes = 4;
+
+  // Sampled over whole strings (array-class formats).
+  double raw_chars = 0;         // sum of string lengths
+  int distinct_chars = 0;       // |alphabet|
+  double entropy0 = 0;          // order-0 entropy, bits/char
+  double ng2_coverage = 0;      // fraction of 2-grams with proper codes
+  double ng3_coverage = 0;
+  int ng2_table_grams = 0;      // n-grams that would receive proper codes
+  int ng3_table_grams = 0;
+  double rp12_rate = 0;         // Re-Pair compressed/raw payload ratio
+  double rp16_rate = 0;
+  uint64_t rp12_rules = 0;      // grammar rules learned on the sample
+  uint64_t rp16_rules = 0;
+  uint64_t max_string_len = 0;  // longest sampled string
+
+  // Sampled over front-coded blocks (fc-class formats).
+  double fc_raw_chars = 0;      // stored chars: first strings + suffixes
+  double fc_df_raw_chars = 0;   // same with difference-to-first suffixes
+  int fc_distinct_chars = 0;
+  double fc_entropy0 = 0;
+  double fc_ng2_coverage = 0;
+  double fc_ng3_coverage = 0;
+  int fc_ng2_table_grams = 0;
+  int fc_ng3_table_grams = 0;
+  double fc_rp12_rate = 0;
+  double fc_rp16_rate = 0;
+  uint64_t fc_rp12_rules = 0;
+  uint64_t fc_rp16_rules = 0;
+  double fc_inline_header_chars = 0;  // varint length bytes (whole column)
+
+  // Sampled over column-bc blocks.
+  double colbc_avg_block_size = 0;  // bytes per encoded block
+
+  // Bookkeeping.
+  double sampled_fraction = 1.0;  // entries actually inspected / num_strings
+};
+
+/// Estimates the properties of `sorted_unique` by sampling per `config`.
+/// With SamplingConfig::Exact() every entry is inspected and the properties
+/// are exact.
+DictionaryProperties SampleProperties(std::span<const std::string> sorted_unique,
+                                      const SamplingConfig& config,
+                                      uint64_t seed = 42);
+
+}  // namespace adict
+
+#endif  // ADICT_CORE_PROPERTIES_H_

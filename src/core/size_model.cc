@@ -1,0 +1,141 @@
+#include "core/size_model.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "dict/array_dict.h"
+#include "dict/column_bc.h"
+#include "dict/front_coding.h"
+#include "text/ngram.h"
+#include "util/check.h"
+
+namespace adict {
+namespace {
+
+/// data = raw * ceil(log2 #chars) / 8.
+double BitCompressData(double raw_chars, int distinct_chars) {
+  const int width =
+      distinct_chars <= 1
+          ? 1
+          : std::bit_width(static_cast<unsigned>(distinct_chars - 1));
+  return raw_chars * width / 8.0;
+}
+
+/// data = 12/8 * (coverage/n + (1 - coverage)) * raw.
+double NgramData(double raw_chars, double coverage, int n) {
+  return 12.0 / 8.0 * (coverage / n + (1.0 - coverage)) * raw_chars;
+}
+
+/// Decode tables of the per-byte prefix codes: code and length arrays plus
+/// ~2 * #chars tree nodes of 6 bytes (see PrefixCodeCodec::TableBytes).
+double PrefixCodeTable(int distinct_chars) {
+  return 1024.0 + 256.0 + 6.0 * (2.0 * distinct_chars);
+}
+
+/// Grammar table: rules grow sublinearly with the text (vocabulary growth),
+/// capped by the symbol space. `sampled_fraction` extrapolates the rule
+/// count observed on the sample.
+double RePairTable(uint64_t sampled_rules, double sampled_fraction,
+                   int symbol_bits) {
+  const double cap = static_cast<double>((1u << symbol_bits) - 256);
+  const double scale =
+      sampled_fraction > 0 ? std::sqrt(1.0 / sampled_fraction) : 1.0;
+  const double rules = std::min(cap, static_cast<double>(sampled_rules) * scale);
+  return 4.0 * rules;  // two uint16 per rule
+}
+
+}  // namespace
+
+double PredictDictionarySize(DictFormat format,
+                             const DictionaryProperties& props) {
+  const double n = static_cast<double>(props.num_strings);
+  const double pointer = static_cast<double>(props.pointer_bytes);
+  const double fc_blocks = std::ceil(n / FcBlockDict::kBlockSize);
+  const double cb_blocks = std::ceil(n / ColumnBcDict::kBlockSize);
+  // Per-string header of the fc block formats (prefix length + suffix size).
+  const double fc_headers = n * FcBlockDict::kHeaderBytesPerString;
+
+  switch (format) {
+    // ----- array class: size = data + #strings * pointer ------------------
+    case DictFormat::kArray:
+      return props.raw_chars + pointer * (n + 1) + sizeof(RawArrayDict);
+    case DictFormat::kArrayBc:
+      return BitCompressData(props.raw_chars, props.distinct_chars) +
+             pointer * (n + 1) + 768.0 + sizeof(CodedArrayDict);
+    case DictFormat::kArrayHu:
+      return props.raw_chars * props.entropy0 / 8.0 + pointer * (n + 1) +
+             PrefixCodeTable(props.distinct_chars) + sizeof(CodedArrayDict);
+    case DictFormat::kArrayNg2:
+      return NgramData(props.raw_chars, props.ng2_coverage, 2) +
+             pointer * (n + 1) + props.ng2_table_grams * 2.0 +
+             sizeof(CodedArrayDict);
+    case DictFormat::kArrayNg3:
+      return NgramData(props.raw_chars, props.ng3_coverage, 3) +
+             pointer * (n + 1) + props.ng3_table_grams * 3.0 +
+             sizeof(CodedArrayDict);
+    case DictFormat::kArrayRp12:
+      return props.raw_chars * props.rp12_rate + pointer * (n + 1) +
+             RePairTable(props.rp12_rules, props.sampled_fraction, 12) +
+             sizeof(CodedArrayDict);
+    case DictFormat::kArrayRp16:
+      return props.raw_chars * props.rp16_rate + pointer * (n + 1) +
+             RePairTable(props.rp16_rules, props.sampled_fraction, 16) +
+             sizeof(CodedArrayDict);
+
+    // ----- special: array fixed = #strings * max_string -------------------
+    case DictFormat::kArrayFixed:
+      return n * static_cast<double>(props.max_string_len) +
+             sizeof(FixedArrayDict);
+
+    // ----- fc class: size = data + #blocks * (pointer + block header) -----
+    case DictFormat::kFcBlock:
+      return props.fc_raw_chars + fc_headers + pointer * fc_blocks +
+             sizeof(FcBlockDict);
+    case DictFormat::kFcBlockBc:
+      return BitCompressData(props.fc_raw_chars, props.fc_distinct_chars) +
+             fc_headers + pointer * fc_blocks + 768.0 + sizeof(FcBlockDict);
+    case DictFormat::kFcBlockHu:
+      return props.fc_raw_chars * props.fc_entropy0 / 8.0 + fc_headers +
+             pointer * fc_blocks + PrefixCodeTable(props.fc_distinct_chars) +
+             sizeof(FcBlockDict);
+    case DictFormat::kFcBlockNg2:
+      return NgramData(props.fc_raw_chars, props.fc_ng2_coverage, 2) +
+             fc_headers + pointer * fc_blocks + props.fc_ng2_table_grams * 2.0 +
+             sizeof(FcBlockDict);
+    case DictFormat::kFcBlockNg3:
+      return NgramData(props.fc_raw_chars, props.fc_ng3_coverage, 3) +
+             fc_headers + pointer * fc_blocks + props.fc_ng3_table_grams * 3.0 +
+             sizeof(FcBlockDict);
+    case DictFormat::kFcBlockRp12:
+      return props.fc_raw_chars * props.fc_rp12_rate + fc_headers +
+             pointer * fc_blocks +
+             RePairTable(props.fc_rp12_rules, props.sampled_fraction, 12) +
+             sizeof(FcBlockDict);
+    case DictFormat::kFcBlockRp16:
+      return props.fc_raw_chars * props.fc_rp16_rate + fc_headers +
+             pointer * fc_blocks +
+             RePairTable(props.fc_rp16_rules, props.sampled_fraction, 16) +
+             sizeof(FcBlockDict);
+    case DictFormat::kFcBlockDf:
+      return props.fc_df_raw_chars + fc_headers + pointer * fc_blocks +
+             sizeof(FcBlockDict);
+    case DictFormat::kFcInline:
+      return props.fc_raw_chars + props.fc_inline_header_chars +
+             pointer * fc_blocks + sizeof(FcInlineDict);
+
+    // ----- special: column bc = #blocks * avg block size -------------------
+    case DictFormat::kColumnBc:
+      return cb_blocks * props.colbc_avg_block_size + pointer * cb_blocks +
+             sizeof(ColumnBcDict);
+  }
+  ADICT_CHECK_MSG(false, "unknown dictionary format");
+  return 0;
+}
+
+double PredictionError(double real_size, double predicted_size) {
+  if (real_size <= 0) return 0;
+  return std::abs(real_size - predicted_size) / real_size;
+}
+
+}  // namespace adict

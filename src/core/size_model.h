@@ -1,0 +1,35 @@
+// Compression models: predicted dictionary sizes per format (paper §4.2).
+//
+// Every formula reduces the size of a dictionary format to the properties of
+// DictionaryProperties, exactly as in the paper:
+//   array class   size = data + #strings * pointer
+//   fc class      size = data + #blocks * (pointer + block header)
+//   none          data = raw
+//   bc            data = raw * ceil(log2 #chars) / 8
+//   hu            data = raw * entropy0 / 8
+//   ng(n)         data = 12/8 * (coverage/n + (1 - coverage)) * raw
+//   rp            data = raw * compr_rate
+//   array fixed   size = #strings * max_string
+//   column bc     size = #blocks * avg_block_size
+// plus the small implementation-dependent constants the paper mentions as
+// refinements (codec tables, per-object overhead), which are known a priori.
+#ifndef ADICT_CORE_SIZE_MODEL_H_
+#define ADICT_CORE_SIZE_MODEL_H_
+
+#include "core/properties.h"
+#include "dict/dictionary.h"
+
+namespace adict {
+
+/// Predicted total memory consumption (bytes) of `format` for a column with
+/// the given properties. Comparable to Dictionary::MemoryBytes().
+double PredictDictionarySize(DictFormat format,
+                             const DictionaryProperties& props);
+
+/// Convenience: the relative prediction error |real - predicted| / real used
+/// throughout the paper's Figure 6.
+double PredictionError(double real_size, double predicted_size);
+
+}  // namespace adict
+
+#endif  // ADICT_CORE_SIZE_MODEL_H_

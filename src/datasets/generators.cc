@@ -1,0 +1,416 @@
+#include "datasets/generators.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <unordered_set>
+
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/sha256.h"
+#include "util/zipf.h"
+
+namespace adict {
+namespace {
+
+constexpr std::array<std::string_view, 9> kDatasetNames = {
+    "asc", "engl", "1gram", "hash", "mat", "rand1", "rand2", "src", "url"};
+
+// Base vocabulary for the English-like generators.
+constexpr std::string_view kWords[] = {
+    "able",    "about",   "account", "action",  "active",  "address",
+    "advance", "after",   "again",   "agent",   "agree",   "allow",
+    "amount",  "analysis","annual",  "answer",  "apply",   "area",
+    "argue",   "around",  "arrive",  "article", "assume",  "attack",
+    "author",  "balance", "bank",    "base",    "basic",   "battle",
+    "become",  "before",  "begin",   "believe", "benefit", "better",
+    "between", "billion", "board",   "border",  "branch",  "bridge",
+    "bring",   "budget",  "build",   "business","buyer",   "camera",
+    "campaign","cancel",  "capital", "care",    "carry",   "cause",
+    "center",  "central", "century", "certain", "chance",  "change",
+    "channel", "charge",  "check",   "choice",  "circle",  "claim",
+    "class",   "clear",   "client",  "close",   "code",    "collect",
+    "college", "column",  "combine", "common",  "company", "compare",
+    "complete","computer","concern", "condition","consider","contain",
+    "continue","contract","control", "convert", "corner",  "correct",
+    "cost",    "count",   "country", "course",  "cover",   "create",
+    "credit",  "culture", "current", "customer","damage",  "data",
+    "debate",  "decade",  "decide",  "declare", "deep",    "defense",
+    "degree",  "deliver", "demand",  "depend",  "describe","design",
+    "detail",  "develop", "device",  "differ",  "direct",  "discuss",
+    "distance","document","double",  "dream",   "drive",   "during",
+    "early",   "earn",    "east",    "economy", "effect",  "effort",
+    "eight",   "either",  "electric","element", "emerge",  "employ",
+    "energy",  "engine",  "enough",  "enter",   "entire",  "equal",
+    "escape",  "estimate","evening", "event",   "every",   "evidence",
+    "exact",   "example", "exchange","exist",   "expect",  "expense",
+    "explain", "express", "extend",  "factor",  "fail",    "fall",
+    "family",  "feature", "federal", "field",   "figure",  "filter",
+    "final",   "finance", "finish",  "first",   "fiscal",  "focus",
+    "follow",  "force",   "foreign", "forget",  "formal",  "forward",
+    "frame",   "front",   "function","future",  "garden",  "general",
+    "global",  "govern",  "great",   "ground",  "group",   "growth",
+    "handle",  "happen",  "health",  "hearing", "history", "hold",
+    "hotel",   "house",   "human",   "image",   "impact",  "import",
+    "improve", "include", "income",  "increase","index",   "industry",
+    "inform",  "inside",  "install", "instead", "intend",  "interest",
+    "invest",  "involve", "island",  "issue",   "itself",  "join",
+    "journal", "judge",   "kitchen", "knowledge","labor",  "language",
+    "large",   "later",   "leader",  "learn",   "leave",   "legal",
+    "letter",  "level",   "light",   "limit",   "listen",  "little",
+    "local",   "logic",   "machine", "magazine","maintain","major",
+    "manage",  "margin",  "market",  "master",  "material","matter",
+    "measure", "media",   "medical", "member",  "memory",  "mention",
+    "message", "method",  "middle",  "might",   "military","million",
+    "minute",  "mission", "model",   "modern",  "moment",  "money",
+    "monitor", "month",   "morning", "mother",  "motion",  "move",
+    "music",   "nation",  "nature",  "network", "never",   "night",
+    "north",   "notice",  "number",  "object",  "obtain",  "occur",
+    "offer",   "office",  "often",   "operate", "option",  "order",
+    "organ",   "other",   "output",  "outside", "owner",   "packet",
+    "paper",   "parent",  "partner", "party",   "patient", "pattern",
+    "people",  "percent", "perform", "period",  "person",  "phase",
+    "phone",   "picture", "piece",   "place",   "plan",    "plant",
+    "player",  "point",   "policy",  "popular", "position","power",
+    "prepare", "present", "press",   "price",   "print",   "private",
+    "problem", "process", "produce", "product", "profit",  "program",
+    "project", "protect", "provide", "public",  "purpose", "quality",
+    "question","quick",   "radio",   "raise",   "range",   "rate",
+    "reach",   "reason",  "receive", "recent",  "record",  "reduce",
+    "reflect", "reform",  "region",  "relate",  "release", "remain",
+    "remember","remove",  "repeat",  "replace", "report",  "require",
+    "research","resource","respond", "result",  "return",  "reveal",
+    "review",  "right",   "rule",    "sample",  "scale",   "scene",
+    "schedule","school",  "science", "screen",  "search",  "season",
+    "second",  "section", "sector",  "secure",  "select",  "sense",
+    "series",  "serve",   "service", "session", "settle",  "seven",
+    "share",   "short",   "should",  "signal",  "simple",  "since",
+    "single",  "small",   "social",  "source",  "south",   "space",
+    "speak",   "special", "spend",   "sport",   "spread",  "spring",
+    "square",  "staff",   "stage",   "standard","start",   "state",
+    "station", "status",  "still",   "stock",   "store",   "story",
+    "street",  "strong",  "student", "study",   "stuff",   "style",
+    "subject", "submit",  "success", "suffer",  "suggest", "summer",
+    "supply",  "support", "surface", "survey",  "system",  "table",
+    "target",  "teach",   "technology","term",  "theory",  "thing",
+    "think",   "third",   "thought", "thousand","through", "ticket",
+    "today",   "together","tonight", "total",   "toward",  "trade",
+    "train",   "transfer","travel",  "treat",   "trend",   "trial",
+    "trouble", "truck",   "trust",   "under",   "union",   "unique",
+    "update",  "upgrade", "usual",   "value",   "various", "vendor",
+    "version", "video",   "visit",   "voice",   "volume",  "wait",
+    "watch",   "water",   "weight",  "west",    "whole",   "window",
+    "winter",  "within",  "without", "worker",  "world",   "write",
+    "yellow",  "young",
+};
+constexpr size_t kNumWords = std::size(kWords);
+
+constexpr std::string_view kWordSuffixes[] = {"", "s", "ed", "ing", "er",
+                                              "est", "ly", "ness", "ment"};
+
+/// Generates distinct strings until `n` are collected (or the generator is
+/// exhausted), using `make(i)` for attempt i.
+template <typename MakeFn>
+std::vector<std::string> CollectDistinct(size_t n, const MakeFn& make) {
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> out;
+  out.reserve(n);
+  // Allow a generous number of attempts; generators below have large enough
+  // output spaces that collisions stay rare.
+  const size_t max_attempts = 20 * n + 1000;
+  for (size_t attempt = 0; attempt < max_attempts && out.size() < n;
+       ++attempt) {
+    std::string s = make(attempt);
+    if (seen.insert(s).second) out.push_back(std::move(s));
+  }
+  ADICT_CHECK_MSG(out.size() == n, "dataset generator exhausted");
+  return out;
+}
+
+std::vector<std::string> GenAsc(size_t n, uint64_t seed) {
+  // Ascending decimals with small random gaps so the set is not perfectly
+  // dense (matching e.g. document numbers).
+  Rng rng(seed);
+  std::vector<std::string> out;
+  out.reserve(n);
+  uint64_t value = 100000000000ull;
+  char buf[32];
+  for (size_t i = 0; i < n; ++i) {
+    value += 1 + rng.Uniform(3);
+    std::snprintf(buf, sizeof(buf), "%018llu",
+                  static_cast<unsigned long long>(value));
+    out.emplace_back(buf);
+  }
+  return out;
+}
+
+std::vector<std::string> GenEngl(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  return CollectDistinct(n, [&](size_t) {
+    std::string s(kWords[rng.Uniform(kNumWords)]);
+    s += kWordSuffixes[rng.Uniform(std::size(kWordSuffixes))];
+    // Occasionally form a compound, as the word list contains derived forms.
+    if (rng.NextDouble() < 0.35) {
+      s += kWords[rng.Uniform(kNumWords)];
+    }
+    return s;
+  });
+}
+
+std::vector<std::string> Gen1Gram(size_t n, uint64_t seed) {
+  // Book tokens: Zipf-weighted syllable composition, occasional
+  // capitalization, rare digit tokens.
+  static constexpr std::string_view kSyllables[] = {
+      "a",   "an",  "ar",  "as",  "at",  "be",  "ca",  "ce",  "co",  "de",
+      "di",  "do",  "e",   "ed",  "en",  "er",  "es",  "ex",  "fa",  "fi",
+      "ga",  "ge",  "ha",  "he",  "hi",  "ho",  "i",   "in",  "is",  "it",
+      "la",  "le",  "li",  "lo",  "ma",  "me",  "mi",  "mo",  "na",  "ne",
+      "ni",  "no",  "o",   "on",  "or",  "ou",  "pa",  "pe",  "po",  "ra",
+      "re",  "ri",  "ro",  "sa",  "se",  "si",  "so",  "st",  "ta",  "te",
+      "ti",  "to",  "tra", "tri", "u",   "un",  "ur",  "us",  "va",  "ve",
+      "vi",  "vo",  "wa",  "we",  "wi",  "wo",  "y",
+  };
+  Rng rng(seed);
+  ZipfDistribution zipf(std::size(kSyllables), 0.8);
+  return CollectDistinct(n, [&](size_t) {
+    std::string s;
+    const int syllables = 1 + static_cast<int>(rng.Uniform(5));
+    for (int k = 0; k < syllables; ++k) s += kSyllables[zipf.Sample(&rng)];
+    if (rng.NextDouble() < 0.12) s[0] = static_cast<char>(s[0] - 'a' + 'A');
+    if (rng.NextDouble() < 0.02) {
+      s = std::to_string(1500 + rng.Uniform(600));  // year-like token
+    }
+    return s;
+  });
+}
+
+std::vector<std::string> GenHash(size_t n, uint64_t seed) {
+  // Salted password hashes; the scheme prefix is shared by every entry.
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const std::string password =
+        "user" + std::to_string(seed) + "-" + std::to_string(i);
+    out.push_back("{SSHA256}" + Sha256Hex(password));
+  }
+  return out;
+}
+
+std::vector<std::string> GenMat(size_t n, uint64_t seed) {
+  // ERP material numbers: a handful of structured layouts with a small
+  // alphabet and constant length, as extracted from customer systems.
+  Rng rng(seed);
+  static constexpr std::string_view kPlants[] = {"DE", "US", "FR", "CN", "JP"};
+  return CollectDistinct(n, [&](size_t) {
+    char buf[32];
+    const unsigned group = 100 + static_cast<unsigned>(rng.Uniform(40));
+    const unsigned item = static_cast<unsigned>(rng.Uniform(10000000));
+    std::snprintf(buf, sizeof(buf), "%s-%03u-%07u",
+                  kPlants[rng.Uniform(std::size(kPlants))].data(), group,
+                  item);
+    return std::string(buf);
+  });
+}
+
+std::vector<std::string> GenRand(size_t n, uint64_t seed, bool fixed_length) {
+  Rng rng(seed);
+  std::string alphabet;
+  for (int c = 33; c < 127; ++c) alphabet.push_back(static_cast<char>(c));
+  return CollectDistinct(n, [&](size_t) {
+    const size_t len = fixed_length ? 10 : 1 + rng.Uniform(30);
+    return rng.RandomString(len, alphabet);
+  });
+}
+
+std::vector<std::string> GenSrc(size_t n, uint64_t seed) {
+  // Source code lines: statement templates instantiated with identifiers and
+  // literals. Highly redundant, variable length, large-ish alphabet.
+  static constexpr std::string_view kTypes[] = {"int",    "double", "auto",
+                                                "size_t", "bool",   "char"};
+  static constexpr std::string_view kIndent[] = {"", "  ", "    ", "      "};
+  Rng rng(seed);
+  return CollectDistinct(n, [&](size_t) {
+    const std::string var =
+        std::string(kWords[rng.Uniform(kNumWords)]) + "_" +
+        std::string(kWords[rng.Uniform(kNumWords)]);
+    const std::string other(kWords[rng.Uniform(kNumWords)]);
+    const std::string indent(kIndent[rng.Uniform(std::size(kIndent))]);
+    const unsigned num = static_cast<unsigned>(rng.Uniform(1000));
+    std::string line;
+    switch (rng.Uniform(10)) {
+      case 0:
+        line = indent + std::string(kTypes[rng.Uniform(std::size(kTypes))]) +
+               " " + var + " = " + std::to_string(num) + ";";
+        break;
+      case 1:
+        line = indent + "if (" + var + " < " + std::to_string(num) +
+               ") return " + other + ";";
+        break;
+      case 2:
+        line = indent + "for (int i = 0; i < " + var + ".size(); ++i) {";
+        break;
+      case 3:
+        line = indent + var + "->" + other + "(" + std::to_string(num) + ");";
+        break;
+      case 4:
+        line = indent + "return " + var + " + " + other + ";";
+        break;
+      case 5:
+        line = indent + "// TODO(" + other + "): handle " + var + " overflow";
+        break;
+      case 6:
+        line = indent + "std::vector<" +
+               std::string(kTypes[rng.Uniform(std::size(kTypes))]) + "> " +
+               var + "(" + std::to_string(num) + ");";
+        break;
+      case 7:
+        line = indent + "ASSERT_EQ(" + var + ", " + other + "." + var + ");";
+        break;
+      case 8: {
+        // Long prose comment, as real code bases have; the occasional very
+        // long line is what makes padding-based formats explode on source
+        // code (paper Figure 3).
+        line = indent + "// ";
+        const int words = 6 + static_cast<int>(rng.Uniform(60));
+        for (int w = 0; w < words; ++w) {
+          if (w) line += " ";
+          line += kWords[rng.Uniform(kNumWords)];
+        }
+        break;
+      }
+      default: {
+        // Long function signature.
+        line = indent + "void " + var + "(const std::string& " + other;
+        const int params = static_cast<int>(rng.Uniform(4));
+        for (int k = 0; k < params; ++k) {
+          line += ", ";
+          line += kTypes[rng.Uniform(std::size(kTypes))];
+          line += " ";
+          line += kWords[rng.Uniform(kNumWords)];
+        }
+        line += ") override;";
+        break;
+      }
+    }
+    return line;
+  });
+}
+
+std::vector<std::string> GenUrl(size_t n, uint64_t seed) {
+  static constexpr std::string_view kHosts[] = {
+      "https://www.example.com", "https://shop.example.com",
+      "https://api.example.org", "http://test.example.net"};
+  static constexpr std::string_view kSections[] = {
+      "products", "category", "articles", "users", "search", "static/img"};
+  Rng rng(seed);
+  return CollectDistinct(n, [&](size_t) {
+    std::string url(kHosts[rng.Uniform(std::size(kHosts))]);
+    url += "/";
+    url += kSections[rng.Uniform(std::size(kSections))];
+    url += "/";
+    url += kWords[rng.Uniform(kNumWords)];
+    if (rng.NextDouble() < 0.7) {
+      url += "?id=" + std::to_string(rng.Uniform(1000000));
+      if (rng.NextDouble() < 0.5) {
+        url += "&page=" + std::to_string(rng.Uniform(50));
+      }
+    }
+    return url;
+  });
+}
+
+}  // namespace
+
+std::span<const std::string_view> SurveyDatasetNames() { return kDatasetNames; }
+
+std::vector<std::string> GenerateSurveyDataset(std::string_view name, size_t n,
+                                               uint64_t seed) {
+  std::vector<std::string> values;
+  if (name == "asc") {
+    values = GenAsc(n, seed);
+  } else if (name == "engl") {
+    values = GenEngl(n, seed);
+  } else if (name == "1gram") {
+    values = Gen1Gram(n, seed);
+  } else if (name == "hash") {
+    values = GenHash(n, seed);
+  } else if (name == "mat") {
+    values = GenMat(n, seed);
+  } else if (name == "rand1") {
+    values = GenRand(n, seed, /*fixed_length=*/true);
+  } else if (name == "rand2") {
+    values = GenRand(n, seed, /*fixed_length=*/false);
+  } else if (name == "src") {
+    values = GenSrc(n, seed);
+  } else if (name == "url") {
+    values = GenUrl(n, seed);
+  } else {
+    ADICT_CHECK_MSG(false, "unknown survey dataset");
+  }
+  return SortedUnique(std::move(values));
+}
+
+std::vector<std::string> SortedUnique(std::vector<std::string> values) {
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  return values;
+}
+
+std::vector<ColumnProfile> GenerateSystemPopulation(SystemKind kind,
+                                                    size_t num_columns,
+                                                    uint64_t seed) {
+  // Dictionary sizes follow a power law over decades: each decade of size
+  // has roughly half an order of magnitude fewer columns (paper Figure 1).
+  // The maximum decade and the tail weight differ per system.
+  // Tuned so the share of columns above 1e5 entries and their memory share
+  // land near the paper's numbers: ERP 1 ~0.1% of columns / ~87% of memory,
+  // ERP 2 even more extreme (a few giant dictionaries), BW much flatter
+  // (~3% of columns).
+  double tail = 0.5;  // Zipf-like exponent over the size decades
+  int max_decade = 6; // largest 10^decade of distinct values
+  switch (kind) {
+    case SystemKind::kErp1:
+      tail = 0.55;
+      max_decade = 6;
+      break;
+    case SystemKind::kErp2:
+      tail = 0.62;
+      max_decade = 7;
+      break;
+    case SystemKind::kBw:
+      tail = 0.30;
+      max_decade = 5;
+      break;
+  }
+  Rng rng(seed);
+  std::vector<ColumnProfile> columns;
+  columns.reserve(num_columns);
+  // P(decade d) ~ 10^(-tail * d).
+  std::vector<double> decade_weight(max_decade + 1);
+  double sum = 0;
+  for (int d = 0; d <= max_decade; ++d) {
+    decade_weight[d] = std::pow(10.0, -tail * d);
+    sum += decade_weight[d];
+  }
+  for (size_t i = 0; i < num_columns; ++i) {
+    double u = rng.NextDouble() * sum;
+    int decade = 0;
+    while (decade < max_decade && u > decade_weight[decade]) {
+      u -= decade_weight[decade];
+      ++decade;
+    }
+    // Uniform within the decade, at least 1 distinct value.
+    const double lo = std::pow(10.0, decade);
+    const double hi = std::pow(10.0, decade + 1);
+    const uint64_t distinct =
+        std::max<uint64_t>(1, static_cast<uint64_t>(lo + rng.NextDouble() * (hi - lo)));
+    // Larger dictionaries tend to hold longer values (documents, URLs, keys)
+    // while tiny ones hold short enumeration literals.
+    const double avg_len = 4.0 + 2.5 * decade + rng.NextDouble() * 8.0;
+    columns.push_back({distinct, avg_len});
+  }
+  return columns;
+}
+
+}  // namespace adict

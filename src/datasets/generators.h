@@ -1,0 +1,60 @@
+// Synthetic generators for the paper's nine survey data sets (Section 3.4).
+//
+// The originals (Google Books 1-grams, customer material numbers, customer
+// source lines, password hashes, a URL test set, an English word list) are
+// not redistributable; these generators reproduce the *structural* properties
+// each dictionary format exploits:
+//   asc    ascending 18-digit decimals, zero padded (fixed length, digits)
+//   engl   English-like words (small alphabet, moderate redundancy)
+//   1gram  book tokens (Zipf-ish syllables, mixed case)
+//   hash   salted SHA-256 password hashes with one shared prefix
+//          (fixed length, hex alphabet)
+//   mat    material numbers from an ERP system (structured, fixed length)
+//   rand1  fixed-length random strings (incompressible)
+//   rand2  variable-length random strings (incompressible)
+//   src    source code lines (long, highly redundant)
+//   url    URL templates (long shared prefixes, restricted alphabet)
+#ifndef ADICT_DATASETS_GENERATORS_H_
+#define ADICT_DATASETS_GENERATORS_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adict {
+
+/// Names of the nine data sets, in the paper's order.
+std::span<const std::string_view> SurveyDatasetNames();
+
+/// Generates `n` distinct strings of the named data set, sorted ascending
+/// (ready to be used as dictionary input). Deterministic in `seed`.
+std::vector<std::string> GenerateSurveyDataset(std::string_view name, size_t n,
+                                               uint64_t seed = 42);
+
+/// Sorts and deduplicates in place, returning the vector.
+std::vector<std::string> SortedUnique(std::vector<std::string> values);
+
+/// One string column of a simulated enterprise system: only the aggregate
+/// properties that Figures 1 and 2 need.
+struct ColumnProfile {
+  uint64_t distinct_values;  // dictionary entry count
+  double avg_string_length;  // average entry length in bytes
+};
+
+/// The three systems of the paper's motivation section.
+enum class SystemKind { kErp1, kErp2, kBw };
+
+/// Simulates the string-column population of an enterprise system. The
+/// cardinality distribution follows the paper's observation: dictionary
+/// sizes are roughly Zipf distributed ("for every order of magnitude of
+/// smaller size, half an order of magnitude less dictionaries"), with the
+/// ERP systems skewed harder than the BW system.
+std::vector<ColumnProfile> GenerateSystemPopulation(SystemKind kind,
+                                                    size_t num_columns,
+                                                    uint64_t seed = 42);
+
+}  // namespace adict
+
+#endif  // ADICT_DATASETS_GENERATORS_H_

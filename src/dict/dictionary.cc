@@ -1,0 +1,188 @@
+#include "dict/dictionary.h"
+
+#include <array>
+
+#include "dict/array_dict.h"
+#include "dict/column_bc.h"
+#include "dict/front_coding.h"
+#include "util/check.h"
+
+namespace adict {
+namespace {
+
+constexpr std::array<DictFormat, kNumDictFormats> kAllFormats = {
+    DictFormat::kArray,       DictFormat::kArrayBc,
+    DictFormat::kArrayHu,     DictFormat::kArrayNg2,
+    DictFormat::kArrayNg3,    DictFormat::kArrayRp12,
+    DictFormat::kArrayRp16,   DictFormat::kArrayFixed,
+    DictFormat::kFcBlock,     DictFormat::kFcBlockBc,
+    DictFormat::kFcBlockHu,   DictFormat::kFcBlockNg2,
+    DictFormat::kFcBlockNg3,  DictFormat::kFcBlockRp12,
+    DictFormat::kFcBlockRp16, DictFormat::kFcBlockDf,
+    DictFormat::kFcInline,    DictFormat::kColumnBc,
+};
+
+}  // namespace
+
+std::span<const DictFormat> AllDictFormats() { return kAllFormats; }
+
+void Dictionary::Scan(
+    uint32_t first, uint32_t count,
+    const std::function<void(uint32_t, std::string_view)>& fn) const {
+  ADICT_DCHECK(static_cast<uint64_t>(first) + count <= size());
+  std::string scratch;
+  for (uint32_t id = first; id < first + count; ++id) {
+    scratch.clear();
+    ExtractInto(id, &scratch);
+    fn(id, scratch);
+  }
+}
+
+std::string_view DictFormatName(DictFormat format) {
+  switch (format) {
+    case DictFormat::kArray:
+      return "array";
+    case DictFormat::kArrayBc:
+      return "array bc";
+    case DictFormat::kArrayHu:
+      return "array hu";
+    case DictFormat::kArrayNg2:
+      return "array ng2";
+    case DictFormat::kArrayNg3:
+      return "array ng3";
+    case DictFormat::kArrayRp12:
+      return "array rp 12";
+    case DictFormat::kArrayRp16:
+      return "array rp 16";
+    case DictFormat::kArrayFixed:
+      return "array fixed";
+    case DictFormat::kFcBlock:
+      return "fc block";
+    case DictFormat::kFcBlockBc:
+      return "fc block bc";
+    case DictFormat::kFcBlockHu:
+      return "fc block hu";
+    case DictFormat::kFcBlockNg2:
+      return "fc block ng2";
+    case DictFormat::kFcBlockNg3:
+      return "fc block ng3";
+    case DictFormat::kFcBlockRp12:
+      return "fc block rp 12";
+    case DictFormat::kFcBlockRp16:
+      return "fc block rp 16";
+    case DictFormat::kFcBlockDf:
+      return "fc block df";
+    case DictFormat::kFcInline:
+      return "fc inline";
+    case DictFormat::kColumnBc:
+      return "column bc";
+  }
+  return "?";
+}
+
+CodecKind DictFormatCodec(DictFormat format) {
+  switch (format) {
+    case DictFormat::kArrayBc:
+    case DictFormat::kFcBlockBc:
+      return CodecKind::kBitCompress;
+    case DictFormat::kArrayHu:
+    case DictFormat::kFcBlockHu:
+      // Order preservation is required by every dictionary, so "hu" means
+      // Hu-Tucker here (the paper uses Hu-Tucker whenever order matters).
+      return CodecKind::kHuTucker;
+    case DictFormat::kArrayNg2:
+    case DictFormat::kFcBlockNg2:
+      return CodecKind::kNgram2;
+    case DictFormat::kArrayNg3:
+    case DictFormat::kFcBlockNg3:
+      return CodecKind::kNgram3;
+    case DictFormat::kArrayRp12:
+    case DictFormat::kFcBlockRp12:
+      return CodecKind::kRePair12;
+    case DictFormat::kArrayRp16:
+    case DictFormat::kFcBlockRp16:
+      return CodecKind::kRePair16;
+    default:
+      return CodecKind::kNone;
+  }
+}
+
+bool IsArrayClass(DictFormat format) {
+  switch (format) {
+    case DictFormat::kArray:
+    case DictFormat::kArrayBc:
+    case DictFormat::kArrayHu:
+    case DictFormat::kArrayNg2:
+    case DictFormat::kArrayNg3:
+    case DictFormat::kArrayRp12:
+    case DictFormat::kArrayRp16:
+    case DictFormat::kArrayFixed:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsFrontCodingClass(DictFormat format) {
+  switch (format) {
+    case DictFormat::kFcBlock:
+    case DictFormat::kFcBlockBc:
+    case DictFormat::kFcBlockHu:
+    case DictFormat::kFcBlockNg2:
+    case DictFormat::kFcBlockNg3:
+    case DictFormat::kFcBlockRp12:
+    case DictFormat::kFcBlockRp16:
+    case DictFormat::kFcBlockDf:
+    case DictFormat::kFcInline:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::unique_ptr<Dictionary> BuildDictionary(
+    DictFormat format, std::span<const std::string> sorted_unique) {
+  switch (format) {
+    case DictFormat::kArray:
+      return RawArrayDict::Build(sorted_unique);
+    case DictFormat::kArrayBc:
+    case DictFormat::kArrayHu:
+    case DictFormat::kArrayNg2:
+    case DictFormat::kArrayNg3:
+    case DictFormat::kArrayRp12:
+    case DictFormat::kArrayRp16:
+      return CodedArrayDict::Build(format, sorted_unique);
+    case DictFormat::kArrayFixed:
+      return FixedArrayDict::Build(sorted_unique);
+    case DictFormat::kFcBlock:
+    case DictFormat::kFcBlockBc:
+    case DictFormat::kFcBlockHu:
+    case DictFormat::kFcBlockNg2:
+    case DictFormat::kFcBlockNg3:
+    case DictFormat::kFcBlockRp12:
+    case DictFormat::kFcBlockRp16:
+    case DictFormat::kFcBlockDf:
+      return FcBlockDict::Build(format, sorted_unique);
+    case DictFormat::kFcInline:
+      return FcInlineDict::Build(sorted_unique);
+    case DictFormat::kColumnBc:
+      return ColumnBcDict::Build(sorted_unique);
+  }
+  ADICT_CHECK_MSG(false, "unknown dictionary format");
+  return nullptr;
+}
+
+bool IsSortedUnique(std::span<const std::string> strings) {
+  for (size_t i = 1; i < strings.size(); ++i) {
+    if (strings[i - 1] >= strings[i]) return false;
+  }
+  return true;
+}
+
+uint64_t RawDataBytes(std::span<const std::string> strings) {
+  uint64_t total = 0;
+  for (const std::string& s : strings) total += s.size();
+  return total;
+}
+
+}  // namespace adict

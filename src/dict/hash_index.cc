@@ -1,0 +1,56 @@
+#include "dict/hash_index.h"
+
+#include <bit>
+#include <string>
+
+#include "util/check.h"
+
+namespace adict {
+
+uint64_t HashLocateIndex::Hash(std::string_view value) {
+  // FNV-1a, finalized with a splitmix-style mix for better bit diffusion.
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : value) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  return h;
+}
+
+HashLocateIndex::HashLocateIndex(const Dictionary& dict) : dict_(&dict) {
+  // Load factor <= 0.5 keeps probe sequences short.
+  const uint64_t wanted = std::max<uint64_t>(8, 2 * uint64_t{dict.size()});
+  const uint64_t capacity = std::bit_ceil(wanted);
+  slots_.assign(capacity, Slot{});
+  mask_ = capacity - 1;
+
+  dict.Scan(0, dict.size(), [this](uint32_t id, std::string_view value) {
+    const uint64_t h = Hash(value);
+    uint64_t slot = h & mask_;
+    while (slots_[slot].id != kNotFound) {
+      slot = (slot + 1) & mask_;
+    }
+    slots_[slot] = {id, static_cast<uint32_t>(h >> 32)};
+  });
+}
+
+uint32_t HashLocateIndex::Lookup(std::string_view value) const {
+  const uint64_t h = Hash(value);
+  const uint32_t fingerprint = static_cast<uint32_t>(h >> 32);
+  uint64_t slot = h & mask_;
+  std::string scratch;
+  while (slots_[slot].id != kNotFound) {
+    if (slots_[slot].fingerprint == fingerprint) {
+      scratch.clear();
+      dict_->ExtractInto(slots_[slot].id, &scratch);
+      if (scratch == value) return slots_[slot].id;
+    }
+    slot = (slot + 1) & mask_;
+  }
+  return kNotFound;
+}
+
+}  // namespace adict

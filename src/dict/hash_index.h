@@ -1,0 +1,52 @@
+// Equality-locate accelerator over any dictionary.
+//
+// The paper's survey (§3.2, citing Brisaboa et al.) notes that hashing has
+// very good locate performance but is dominated in extract speed and
+// compression as a standalone dictionary, so it is not one of the 18
+// formats. As a *side index* over an existing dictionary it still buys O(1)
+// equality probes — useful for locate-heavy columns (join keys) whose
+// dictionary format was chosen for size. Range predicates keep using
+// Dictionary::Locate, which this index does not replace.
+#ifndef ADICT_DICT_HASH_INDEX_H_
+#define ADICT_DICT_HASH_INDEX_H_
+
+#include <cstdint>
+#include <limits>
+#include <string_view>
+#include <vector>
+
+#include "dict/dictionary.h"
+
+namespace adict {
+
+class HashLocateIndex {
+ public:
+  static constexpr uint32_t kNotFound = std::numeric_limits<uint32_t>::max();
+
+  /// Builds the index with one sequential scan of `dict`. The dictionary
+  /// must outlive the index.
+  explicit HashLocateIndex(const Dictionary& dict);
+
+  /// Value ID of `value`, or kNotFound. Exact-match semantics only.
+  uint32_t Lookup(std::string_view value) const;
+
+  size_t MemoryBytes() const {
+    return sizeof(*this) + slots_.size() * sizeof(Slot);
+  }
+
+ private:
+  struct Slot {
+    uint32_t id = kNotFound;  // kNotFound marks an empty slot
+    uint32_t fingerprint = 0;
+  };
+
+  static uint64_t Hash(std::string_view value);
+
+  const Dictionary* dict_;
+  std::vector<Slot> slots_;  // open addressing, power-of-two size
+  uint64_t mask_ = 0;
+};
+
+}  // namespace adict
+
+#endif  // ADICT_DICT_HASH_INDEX_H_

@@ -1,0 +1,89 @@
+#include "dict/serialization.h"
+
+#include <cstdio>
+
+#include "dict/array_dict.h"
+#include "dict/column_bc.h"
+#include "dict/front_coding.h"
+#include "util/check.h"
+
+namespace adict {
+namespace {
+
+constexpr uint32_t kMagic = 0x43494441;  // "ADIC", little endian
+constexpr uint16_t kVersion = 1;
+
+}  // namespace
+
+void SaveDictionary(const Dictionary& dict, std::vector<uint8_t>* out) {
+  ByteWriter writer(out);
+  writer.Write<uint32_t>(kMagic);
+  writer.Write<uint16_t>(kVersion);
+  writer.Write<uint16_t>(static_cast<uint16_t>(dict.format()));
+  dict.Serialize(&writer);
+}
+
+std::unique_ptr<Dictionary> LoadDictionary(ByteReader* in) {
+  ADICT_CHECK_MSG(in->Read<uint32_t>() == kMagic, "bad dictionary magic");
+  ADICT_CHECK_MSG(in->Read<uint16_t>() == kVersion,
+                  "unsupported dictionary version");
+  const DictFormat format = static_cast<DictFormat>(in->Read<uint16_t>());
+  switch (format) {
+    case DictFormat::kArray:
+      return RawArrayDict::Deserialize(in);
+    case DictFormat::kArrayBc:
+    case DictFormat::kArrayHu:
+    case DictFormat::kArrayNg2:
+    case DictFormat::kArrayNg3:
+    case DictFormat::kArrayRp12:
+    case DictFormat::kArrayRp16:
+      return CodedArrayDict::Deserialize(in);
+    case DictFormat::kArrayFixed:
+      return FixedArrayDict::Deserialize(in);
+    case DictFormat::kFcBlock:
+    case DictFormat::kFcBlockBc:
+    case DictFormat::kFcBlockHu:
+    case DictFormat::kFcBlockNg2:
+    case DictFormat::kFcBlockNg3:
+    case DictFormat::kFcBlockRp12:
+    case DictFormat::kFcBlockRp16:
+    case DictFormat::kFcBlockDf:
+      return FcBlockDict::Deserialize(in);
+    case DictFormat::kFcInline:
+      return FcInlineDict::Deserialize(in);
+    case DictFormat::kColumnBc:
+      return ColumnBcDict::Deserialize(in);
+  }
+  ADICT_CHECK_MSG(false, "corrupt dictionary format tag");
+  return nullptr;
+}
+
+std::unique_ptr<Dictionary> LoadDictionary(const std::vector<uint8_t>& data) {
+  ByteReader reader(data.data(), data.size());
+  return LoadDictionary(&reader);
+}
+
+bool SaveDictionaryToFile(const Dictionary& dict, const std::string& path) {
+  std::vector<uint8_t> buffer;
+  SaveDictionary(dict, &buffer);
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) return false;
+  const size_t written = std::fwrite(buffer.data(), 1, buffer.size(), file);
+  const bool ok = std::fclose(file) == 0 && written == buffer.size();
+  return ok;
+}
+
+std::unique_ptr<Dictionary> LoadDictionaryFromFile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return nullptr;
+  std::fseek(file, 0, SEEK_END);
+  const long size = std::ftell(file);
+  std::fseek(file, 0, SEEK_SET);
+  std::vector<uint8_t> buffer(size > 0 ? static_cast<size_t>(size) : 0);
+  const size_t read = std::fread(buffer.data(), 1, buffer.size(), file);
+  std::fclose(file);
+  if (read != buffer.size()) return nullptr;
+  return LoadDictionary(buffer);
+}
+
+}  // namespace adict

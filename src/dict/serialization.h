@@ -1,0 +1,33 @@
+// Dictionary persistence: a versioned binary envelope around the per-format
+// state, so read-optimized dictionaries can be written to disk at merge time
+// and mapped back without re-encoding.
+//
+// Layout: magic "ADIC" (u32) | version (u16) | DictFormat (u16) | payload.
+#ifndef ADICT_DICT_SERIALIZATION_H_
+#define ADICT_DICT_SERIALIZATION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dict/dictionary.h"
+
+namespace adict {
+
+/// Appends the serialized dictionary to `out`.
+void SaveDictionary(const Dictionary& dict, std::vector<uint8_t>* out);
+
+/// Reconstructs a dictionary from `data`, advancing past it. Aborts on a
+/// corrupt envelope (wrong magic / version / format tag).
+std::unique_ptr<Dictionary> LoadDictionary(ByteReader* in);
+
+/// Convenience: whole-buffer load.
+std::unique_ptr<Dictionary> LoadDictionary(const std::vector<uint8_t>& data);
+
+/// File helpers. Return false / nullptr on I/O failure.
+bool SaveDictionaryToFile(const Dictionary& dict, const std::string& path);
+std::unique_ptr<Dictionary> LoadDictionaryFromFile(const std::string& path);
+
+}  // namespace adict
+
+#endif  // ADICT_DICT_SERIALIZATION_H_

@@ -1,0 +1,32 @@
+#include "engine/join.h"
+
+namespace adict {
+
+std::vector<uint32_t> MapDictionary(const StringColumn& from,
+                                    const StringColumn& to) {
+  std::vector<uint32_t> mapping(from.num_distinct(), kNoMatch);
+  for (uint32_t id = 0; id < from.num_distinct(); ++id) {
+    const LocateResult r = to.Locate(from.ExtractId(id));
+    if (r.found) mapping[id] = r.id;
+  }
+  return mapping;
+}
+
+IdIndex::IdIndex(const StringColumn& column)
+    : num_ids_(column.num_distinct()) {
+  const uint64_t n = column.num_rows();
+  offsets_.assign(num_ids_ + 1, 0);
+  for (uint64_t row = 0; row < n; ++row) {
+    ++offsets_[column.GetValueId(row) + 1];
+  }
+  for (uint32_t id = 0; id < num_ids_; ++id) {
+    offsets_[id + 1] += offsets_[id];
+  }
+  rows_.resize(n);
+  std::vector<uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (uint64_t row = 0; row < n; ++row) {
+    rows_[cursor[column.GetValueId(row)]++] = static_cast<uint32_t>(row);
+  }
+}
+
+}  // namespace adict

@@ -1,0 +1,80 @@
+#include "engine/predicates.h"
+
+namespace adict {
+
+IdRange EqIds(const StringColumn& column, std::string_view value) {
+  const LocateResult r = column.Locate(value);
+  return r.found ? IdRange{r.id, r.id + 1} : IdRange{};
+}
+
+IdRange GreaterIds(const StringColumn& column, std::string_view value,
+                   bool inclusive) {
+  const LocateResult r = column.Locate(value);
+  const uint32_t begin = (r.found && !inclusive) ? r.id + 1 : r.id;
+  return {begin, column.num_distinct()};
+}
+
+IdRange LessIds(const StringColumn& column, std::string_view value,
+                bool inclusive) {
+  const LocateResult r = column.Locate(value);
+  const uint32_t end = (r.found && inclusive) ? r.id + 1 : r.id;
+  return {0, end};
+}
+
+IdRange BetweenIds(const StringColumn& column, std::string_view lo,
+                   std::string_view hi) {
+  const IdRange ge = GreaterIds(column, lo);
+  const IdRange le = LessIds(column, hi);
+  return {ge.begin, le.end};
+}
+
+IdRange PrefixIds(const StringColumn& column, std::string_view prefix) {
+  const LocateResult lo = column.Locate(prefix);
+  // The end of the prefix run: the first string >= prefix with its last
+  // character incremented. A prefix ending in 0xff would need widening; the
+  // workloads here never produce one.
+  std::string upper(prefix);
+  while (!upper.empty() && static_cast<unsigned char>(upper.back()) == 0xff) {
+    upper.pop_back();
+  }
+  if (upper.empty()) return {lo.id, column.num_distinct()};
+  upper.back() = static_cast<char>(static_cast<unsigned char>(upper.back()) + 1);
+  const LocateResult hi = column.Locate(upper);
+  return {lo.id, hi.id};
+}
+
+std::vector<bool> ContainsIds(const StringColumn& column,
+                              std::string_view needle) {
+  const std::string_view needles[] = {needle};
+  return ContainsAllIds(column, needles);
+}
+
+std::vector<bool> ContainsAllIds(const StringColumn& column,
+                                 std::span<const std::string_view> needles) {
+  std::vector<bool> flags(column.num_distinct(), false);
+  // Sequential dictionary scan: block-based formats decode each block once.
+  column.ScanDictionary(
+      0, column.num_distinct(), [&flags, needles](uint32_t id,
+                                                  std::string_view value) {
+        size_t pos = 0;
+        for (std::string_view needle : needles) {
+          pos = value.find(needle, pos);
+          if (pos == std::string_view::npos) return;
+          pos += needle.size();
+        }
+        flags[id] = true;
+      });
+  return flags;
+}
+
+std::vector<bool> InIds(const StringColumn& column,
+                        std::span<const std::string_view> values) {
+  std::vector<bool> flags(column.num_distinct(), false);
+  for (std::string_view value : values) {
+    const LocateResult r = column.Locate(value);
+    if (r.found) flags[r.id] = true;
+  }
+  return flags;
+}
+
+}  // namespace adict

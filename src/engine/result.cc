@@ -1,0 +1,26 @@
+#include "engine/result.h"
+
+namespace adict {
+
+std::string QueryResult::ToString(size_t max_rows) const {
+  std::string out;
+  for (size_t i = 0; i < column_names.size(); ++i) {
+    if (i) out += " | ";
+    out += column_names[i];
+  }
+  out += "\n";
+  const size_t shown = rows.size() < max_rows ? rows.size() : max_rows;
+  for (size_t r = 0; r < shown; ++r) {
+    for (size_t i = 0; i < rows[r].size(); ++i) {
+      if (i) out += " | ";
+      out += rows[r][i];
+    }
+    out += "\n";
+  }
+  if (shown < rows.size()) {
+    out += "... (" + std::to_string(rows.size() - shown) + " more rows)\n";
+  }
+  return out;
+}
+
+}  // namespace adict

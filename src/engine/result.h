@@ -1,0 +1,35 @@
+// Tabular query results: ordered rows of formatted cells, convenient for
+// verification and for printing paper-style output.
+#ifndef ADICT_ENGINE_RESULT_H_
+#define ADICT_ENGINE_RESULT_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace adict {
+
+struct QueryResult {
+  std::vector<std::string> column_names;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Appends one row from heterogeneous cells.
+  void AddRow(std::vector<std::string> cells) { rows.push_back(std::move(cells)); }
+
+  std::string ToString(size_t max_rows = 10) const;
+};
+
+/// Formats a numeric cell with two decimals (money/aggregate style).
+inline std::string Cell(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.2f", value);
+  return buf;
+}
+inline std::string Cell(int64_t value) { return std::to_string(value); }
+inline std::string Cell(uint64_t value) { return std::to_string(value); }
+inline std::string Cell(int value) { return std::to_string(value); }
+inline std::string Cell(std::string value) { return value; }
+
+}  // namespace adict
+
+#endif  // ADICT_ENGINE_RESULT_H_

@@ -1,0 +1,53 @@
+#include "engine/scan.h"
+
+namespace adict {
+
+std::vector<uint32_t> SelectRows(const StringColumn& column,
+                                 const IdRange& range) {
+  std::vector<uint32_t> rows;
+  if (range.empty()) return rows;
+  const uint64_t n = column.num_rows();
+  for (uint64_t row = 0; row < n; ++row) {
+    if (range.Contains(column.GetValueId(row))) {
+      rows.push_back(static_cast<uint32_t>(row));
+    }
+  }
+  return rows;
+}
+
+std::vector<uint32_t> SelectRows(const StringColumn& column,
+                                 const std::vector<bool>& id_flags) {
+  std::vector<uint32_t> rows;
+  const uint64_t n = column.num_rows();
+  for (uint64_t row = 0; row < n; ++row) {
+    if (id_flags[column.GetValueId(row)]) {
+      rows.push_back(static_cast<uint32_t>(row));
+    }
+  }
+  return rows;
+}
+
+std::vector<uint32_t> RefineRows(const StringColumn& column,
+                                 const std::vector<uint32_t>& rows,
+                                 const IdRange& range) {
+  std::vector<uint32_t> refined;
+  if (range.empty()) return refined;
+  for (uint32_t row : rows) {
+    if (range.Contains(column.GetValueId(row))) {
+      refined.push_back(row);
+    }
+  }
+  return refined;
+}
+
+uint64_t CountRows(const StringColumn& column, const IdRange& range) {
+  if (range.empty()) return 0;
+  uint64_t count = 0;
+  const uint64_t n = column.num_rows();
+  for (uint64_t row = 0; row < n; ++row) {
+    count += range.Contains(column.GetValueId(row));
+  }
+  return count;
+}
+
+}  // namespace adict

@@ -1,0 +1,36 @@
+// Selection-vector scans over domain-encoded columns.
+//
+// Once a predicate is reduced to qualifying value IDs (engine/predicates.h),
+// the scan itself never touches the dictionary: it compares bit-packed codes
+// — the "process on the codes directly" property that makes domain encoding
+// fast (paper §1).
+#ifndef ADICT_ENGINE_SCAN_H_
+#define ADICT_ENGINE_SCAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/predicates.h"
+#include "store/string_column.h"
+
+namespace adict {
+
+/// Rows whose value ID lies in `range`, ascending.
+std::vector<uint32_t> SelectRows(const StringColumn& column,
+                                 const IdRange& range);
+
+/// Rows whose value ID is flagged in `id_flags` (size = num_distinct).
+std::vector<uint32_t> SelectRows(const StringColumn& column,
+                                 const std::vector<bool>& id_flags);
+
+/// Intersection of an existing selection with an ID range.
+std::vector<uint32_t> RefineRows(const StringColumn& column,
+                                 const std::vector<uint32_t>& rows,
+                                 const IdRange& range);
+
+/// Number of rows whose value ID lies in `range` (no materialization).
+uint64_t CountRows(const StringColumn& column, const IdRange& range);
+
+}  // namespace adict
+
+#endif  // ADICT_ENGINE_SCAN_H_

@@ -1,0 +1,92 @@
+// Bit-packed vector of value IDs: the second half of domain encoding.
+//
+// The column vector stores one fixed-width code per row, wide enough for the
+// dictionary's largest value ID. Together with the dictionary it replaces
+// the original string column (paper Section 1).
+#ifndef ADICT_STORE_COLUMN_VECTOR_H_
+#define ADICT_STORE_COLUMN_VECTOR_H_
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/check.h"
+#include "util/serde.h"
+
+namespace adict {
+
+class ColumnVector {
+ public:
+  ColumnVector() = default;
+
+  /// Packs `ids`; `num_distinct` is the dictionary size (ids < num_distinct).
+  ColumnVector(std::span<const uint32_t> ids, uint32_t num_distinct)
+      : size_(ids.size()),
+        bits_(num_distinct <= 1
+                  ? 1
+                  : std::bit_width(static_cast<unsigned>(num_distinct - 1))) {
+    words_.assign((size_ * bits_ + 63) / 64, 0);
+    for (uint64_t row = 0; row < size_; ++row) {
+      ADICT_DCHECK(ids[row] < num_distinct);
+      Set(row, ids[row]);
+    }
+  }
+
+  /// Value ID of `row`.
+  uint32_t Get(uint64_t row) const {
+    ADICT_DCHECK(row < size_);
+    const uint64_t bit = row * bits_;
+    const uint64_t word = bit >> 6;
+    const unsigned shift = bit & 63;
+    uint64_t value = words_[word] >> shift;
+    if (shift + bits_ > 64) {
+      value |= words_[word + 1] << (64 - shift);
+    }
+    return static_cast<uint32_t>(value & Mask());
+  }
+
+  uint64_t size() const { return size_; }
+  int bits_per_value() const { return bits_; }
+  size_t MemoryBytes() const {
+    return sizeof(*this) + words_.size() * sizeof(uint64_t);
+  }
+
+  void Serialize(ByteWriter* out) const {
+    out->Write<uint64_t>(size_);
+    out->Write<int32_t>(bits_);
+    out->WriteVector(words_);
+  }
+
+  static ColumnVector Deserialize(ByteReader* in) {
+    ColumnVector vec;
+    vec.size_ = in->Read<uint64_t>();
+    vec.bits_ = in->Read<int32_t>();
+    vec.words_ = in->ReadVector<uint64_t>();
+    ADICT_CHECK(vec.words_.size() == (vec.size_ * vec.bits_ + 63) / 64);
+    return vec;
+  }
+
+ private:
+  void Set(uint64_t row, uint32_t id) {
+    const uint64_t bit = row * bits_;
+    const uint64_t word = bit >> 6;
+    const unsigned shift = bit & 63;
+    words_[word] |= static_cast<uint64_t>(id) << shift;
+    if (shift + bits_ > 64) {
+      words_[word + 1] |= static_cast<uint64_t>(id) >> (64 - shift);
+    }
+  }
+
+  uint64_t Mask() const {
+    return bits_ == 64 ? ~0ull : (1ull << bits_) - 1;
+  }
+
+  uint64_t size_ = 0;
+  int bits_ = 1;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace adict
+
+#endif  // ADICT_STORE_COLUMN_VECTOR_H_

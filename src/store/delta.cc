@@ -1,0 +1,71 @@
+#include "store/delta.h"
+
+#include <algorithm>
+
+namespace adict {
+
+size_t DeltaColumn::MemoryBytes() const {
+  size_t bytes = sizeof(*this) + rows_.size() * sizeof(uint32_t) +
+                 values_.size() * sizeof(std::string_view);
+  for (const auto& [value, id] : value_to_id_) {
+    bytes += value.size() + sizeof(uint32_t) + 32;  // node overhead estimate
+  }
+  return bytes;
+}
+
+namespace {
+
+DomainEncoded MergeEncode(const StringColumn& main, const DeltaColumn& delta) {
+  // Union of the two dictionaries.
+  const std::vector<std::string> main_values = main.MaterializeDictionary();
+  std::vector<std::string> delta_values;
+  delta_values.reserve(delta.num_distinct());
+  for (std::string_view v : delta.distinct_values()) {
+    delta_values.emplace_back(v);
+  }
+  std::sort(delta_values.begin(), delta_values.end());
+
+  DomainEncoded encoded;
+  encoded.dictionary.reserve(main_values.size() + delta_values.size());
+  std::set_union(main_values.begin(), main_values.end(), delta_values.begin(),
+                 delta_values.end(), std::back_inserter(encoded.dictionary));
+
+  // Remap main rows: old ID -> new ID is a monotone mapping.
+  std::vector<uint32_t> main_remap(main_values.size());
+  for (size_t i = 0; i < main_values.size(); ++i) {
+    const auto it = std::lower_bound(encoded.dictionary.begin(),
+                                     encoded.dictionary.end(), main_values[i]);
+    main_remap[i] = static_cast<uint32_t>(it - encoded.dictionary.begin());
+  }
+  encoded.ids.reserve(main.num_rows() + delta.num_rows());
+  for (uint64_t row = 0; row < main.num_rows(); ++row) {
+    encoded.ids.push_back(main_remap[main.GetValueId(row)]);
+  }
+  // Append delta rows.
+  for (uint64_t row = 0; row < delta.num_rows(); ++row) {
+    const auto it =
+        std::lower_bound(encoded.dictionary.begin(), encoded.dictionary.end(),
+                         delta.GetValue(row));
+    encoded.ids.push_back(static_cast<uint32_t>(it - encoded.dictionary.begin()));
+  }
+  return encoded;
+}
+
+}  // namespace
+
+StringColumn MergeDelta(const StringColumn& main, const DeltaColumn& delta,
+                        DictFormat format) {
+  return StringColumn::FromEncoded(MergeEncode(main, delta), format);
+}
+
+StringColumn MergeDeltaAdaptive(const StringColumn& main,
+                                const DeltaColumn& delta,
+                                const CompressionManager& manager,
+                                double lifetime_seconds) {
+  DomainEncoded encoded = MergeEncode(main, delta);
+  const DictFormat format = manager.ChooseFormat(
+      encoded.dictionary, main.TracedUsage(lifetime_seconds));
+  return StringColumn::FromEncoded(std::move(encoded), format);
+}
+
+}  // namespace adict

@@ -1,0 +1,62 @@
+// Write-optimized delta store and the delta merge (paper Section 1/5):
+// inserts go to an uncompressed, unsorted delta; periodically the delta is
+// merged into the read-optimized main store, which rebuilds the dictionary —
+// the moment the compression manager re-decides the dictionary format.
+#ifndef ADICT_STORE_DELTA_H_
+#define ADICT_STORE_DELTA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/compression_manager.h"
+#include "store/string_column.h"
+
+namespace adict {
+
+/// Write-optimized column: unsorted insertion-order dictionary plus one
+/// local value ID per appended row.
+class DeltaColumn {
+ public:
+  /// Appends one row.
+  void Append(std::string value) {
+    const auto [it, inserted] = value_to_id_.try_emplace(
+        std::move(value), static_cast<uint32_t>(values_.size()));
+    if (inserted) values_.push_back(it->first);
+    rows_.push_back(it->second);
+  }
+
+  uint64_t num_rows() const { return rows_.size(); }
+  uint32_t num_distinct() const { return static_cast<uint32_t>(values_.size()); }
+  bool empty() const { return rows_.empty(); }
+
+  /// Value of row `row`.
+  std::string_view GetValue(uint64_t row) const { return values_[rows_[row]]; }
+  /// Distinct values in insertion order.
+  const std::vector<std::string_view>& distinct_values() const { return values_; }
+
+  size_t MemoryBytes() const;
+
+ private:
+  // Views into the map keys (stable under rehash).
+  std::vector<std::string_view> values_;
+  std::vector<uint32_t> rows_;
+  std::unordered_map<std::string, uint32_t> value_to_id_;
+};
+
+/// Merges `delta` into `main`, producing a new read-optimized column whose
+/// rows are main's rows followed by delta's rows, with the dictionary
+/// rebuilt in `format`.
+StringColumn MergeDelta(const StringColumn& main, const DeltaColumn& delta,
+                        DictFormat format);
+
+/// Same, but lets the compression manager pick the format from the usage
+/// traced on `main` over the past `lifetime_seconds`.
+StringColumn MergeDeltaAdaptive(const StringColumn& main,
+                                const DeltaColumn& delta,
+                                const CompressionManager& manager,
+                                double lifetime_seconds);
+
+}  // namespace adict
+
+#endif  // ADICT_STORE_DELTA_H_

@@ -1,0 +1,72 @@
+#include "store/string_column.h"
+
+#include <algorithm>
+
+#include "dict/serialization.h"
+#include "util/check.h"
+
+namespace adict {
+
+DomainEncoded DomainEncode(std::span<const std::string> values) {
+  DomainEncoded encoded;
+  encoded.dictionary.assign(values.begin(), values.end());
+  std::sort(encoded.dictionary.begin(), encoded.dictionary.end());
+  encoded.dictionary.erase(
+      std::unique(encoded.dictionary.begin(), encoded.dictionary.end()),
+      encoded.dictionary.end());
+
+  encoded.ids.reserve(values.size());
+  for (const std::string& value : values) {
+    const auto it = std::lower_bound(encoded.dictionary.begin(),
+                                     encoded.dictionary.end(), value);
+    encoded.ids.push_back(
+        static_cast<uint32_t>(it - encoded.dictionary.begin()));
+  }
+  return encoded;
+}
+
+StringColumn StringColumn::FromValues(std::span<const std::string> values,
+                                      DictFormat format) {
+  return FromEncoded(DomainEncode(values), format);
+}
+
+StringColumn StringColumn::FromEncoded(DomainEncoded encoded,
+                                       DictFormat format) {
+  StringColumn column;
+  column.dict_ = BuildDictionary(format, encoded.dictionary);
+  column.vector_ = ColumnVector(
+      encoded.ids, static_cast<uint32_t>(encoded.dictionary.size()));
+  return column;
+}
+
+std::vector<std::string> StringColumn::MaterializeDictionary() const {
+  std::vector<std::string> values;
+  values.reserve(dict_->size());
+  for (uint32_t id = 0; id < dict_->size(); ++id) {
+    values.push_back(dict_->Extract(id));
+  }
+  return values;
+}
+
+void StringColumn::ChangeFormat(DictFormat format) {
+  if (format == dict_->format()) return;
+  const std::vector<std::string> values = MaterializeDictionary();
+  dict_ = BuildDictionary(format, values);
+}
+
+void StringColumn::Serialize(ByteWriter* out) const {
+  std::vector<uint8_t> dict_bytes;
+  SaveDictionary(*dict_, &dict_bytes);
+  out->WriteVector(dict_bytes);
+  vector_.Serialize(out);
+}
+
+StringColumn StringColumn::Deserialize(ByteReader* in) {
+  StringColumn column;
+  const std::vector<uint8_t> dict_bytes = in->ReadVector<uint8_t>();
+  column.dict_ = LoadDictionary(dict_bytes);
+  column.vector_ = ColumnVector::Deserialize(in);
+  return column;
+}
+
+}  // namespace adict

@@ -1,0 +1,128 @@
+// Domain-encoded, usage-instrumented string column of the read-optimized
+// store.
+//
+// Every dictionary access is counted, which is exactly the trace the
+// compression manager consumes: the paper's offline prototype instruments
+// the store, runs a representative workload, and feeds the counts into the
+// format decision at the next rebuild. Because all dictionary formats are
+// order-preserving, the dictionary can be rebuilt in a different format
+// without touching the column vector.
+#ifndef ADICT_STORE_STRING_COLUMN_H_
+#define ADICT_STORE_STRING_COLUMN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/tradeoff.h"
+#include "dict/dictionary.h"
+#include "store/column_vector.h"
+
+namespace adict {
+
+/// Domain encoding: sorted distinct values plus one value ID per row.
+struct DomainEncoded {
+  std::vector<std::string> dictionary;  // sorted, distinct
+  std::vector<uint32_t> ids;            // per row, index into dictionary
+};
+
+/// Domain-encodes a raw value column.
+DomainEncoded DomainEncode(std::span<const std::string> values);
+
+class StringColumn {
+ public:
+  /// Empty placeholder column (no dictionary); assign a built column before
+  /// using any accessor.
+  StringColumn() = default;
+
+  /// Builds from raw row values with an explicit dictionary format.
+  static StringColumn FromValues(std::span<const std::string> values,
+                                 DictFormat format = DictFormat::kFcInline);
+
+  /// Builds from pre-encoded parts (used by merge and by format changes).
+  static StringColumn FromEncoded(DomainEncoded encoded, DictFormat format);
+
+  /// Value of `row` (counted as one extract).
+  std::string GetValue(uint64_t row) const {
+    ++usage_.num_extracts;
+    return dict_->Extract(vector_.Get(row));
+  }
+
+  /// Appends the value of `row` to `out` (counted as one extract).
+  void GetValueInto(uint64_t row, std::string* out) const {
+    ++usage_.num_extracts;
+    dict_->ExtractInto(vector_.Get(row), out);
+  }
+
+  /// Value ID of `row` (pure vector access, no dictionary cost).
+  uint32_t GetValueId(uint64_t row) const { return vector_.Get(row); }
+
+  /// Dictionary lookup (counted as one locate).
+  LocateResult Locate(std::string_view value) const {
+    ++usage_.num_locates;
+    return dict_->Locate(value);
+  }
+
+  /// Extracts the dictionary entry for a value ID (counted as one extract).
+  std::string ExtractId(uint32_t id) const {
+    ++usage_.num_extracts;
+    return dict_->Extract(id);
+  }
+
+  /// Sequentially scans dictionary entries [first, first + count) (counted
+  /// as `count` extracts). Block-based formats decode each block only once.
+  void ScanDictionary(uint32_t first, uint32_t count,
+                      const std::function<void(uint32_t, std::string_view)>&
+                          fn) const {
+    usage_.num_extracts += count;
+    dict_->Scan(first, count, fn);
+  }
+
+  uint64_t num_rows() const { return vector_.size(); }
+  uint32_t num_distinct() const { return dict_->size(); }
+  const Dictionary& dictionary() const { return *dict_; }
+  const ColumnVector& vector() const { return vector_; }
+  DictFormat format() const { return dict_->format(); }
+
+  /// Decompresses the full dictionary back into sorted distinct values
+  /// (used at merge / format-change time, when reconstruction happens
+  /// anyway). Not counted as extracts.
+  std::vector<std::string> MaterializeDictionary() const;
+
+  size_t MemoryBytes() const {
+    return dict_->MemoryBytes() + vector_.MemoryBytes();
+  }
+  size_t DictionaryBytes() const { return dict_->MemoryBytes(); }
+  size_t VectorBytes() const { return vector_.MemoryBytes(); }
+
+  /// Rebuilds only the dictionary in a different format. Value IDs are
+  /// stable across formats (all formats are order-preserving), so the
+  /// column vector is reused as-is.
+  void ChangeFormat(DictFormat format);
+
+  /// Persistence: compressed dictionary + bit-packed vector, no re-encoding
+  /// on load. Usage counters are not persisted (they describe one dictionary
+  /// lifetime).
+  void Serialize(ByteWriter* out) const;
+  static StringColumn Deserialize(ByteReader* in);
+
+  /// Usage counters since construction or the last ResetUsage(). The
+  /// lifetime and column vector size fields are filled in, the counters
+  /// reflect the traced accesses.
+  ColumnUsage TracedUsage(double lifetime_seconds) const {
+    ColumnUsage usage = usage_;
+    usage.lifetime_seconds = lifetime_seconds;
+    usage.column_vector_bytes = VectorBytes();
+    return usage;
+  }
+  void ResetUsage() { usage_ = ColumnUsage{}; }
+
+ private:
+  std::unique_ptr<Dictionary> dict_;
+  ColumnVector vector_;
+  mutable ColumnUsage usage_;
+};
+
+}  // namespace adict
+
+#endif  // ADICT_STORE_STRING_COLUMN_H_

@@ -1,0 +1,129 @@
+// A minimal in-memory column-store table: named, typed columns of equal row
+// count. String columns are domain encoded; numeric and date columns are
+// plain vectors (they are not the subject of the paper).
+#ifndef ADICT_STORE_TABLE_H_
+#define ADICT_STORE_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "store/string_column.h"
+#include "util/check.h"
+
+namespace adict {
+
+class Table {
+ public:
+  explicit Table(std::string name) : name_(std::move(name)) {}
+
+  // Movable, not copyable (columns can be large).
+  Table(Table&&) = default;
+  Table& operator=(Table&&) = default;
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  void AddStringColumn(const std::string& name, StringColumn column) {
+    CheckRows(column.num_rows());
+    string_index_[name] = string_columns_.size();
+    string_columns_.push_back(std::move(column));
+    column_names_.push_back(name);
+  }
+  void AddInt64Column(const std::string& name, std::vector<int64_t> values) {
+    CheckRows(values.size());
+    int64_index_[name] = int64_columns_.size();
+    int64_columns_.push_back(std::move(values));
+    column_names_.push_back(name);
+  }
+  void AddDoubleColumn(const std::string& name, std::vector<double> values) {
+    CheckRows(values.size());
+    double_index_[name] = double_columns_.size();
+    double_columns_.push_back(std::move(values));
+    column_names_.push_back(name);
+  }
+  void AddDateColumn(const std::string& name, std::vector<int32_t> values) {
+    CheckRows(values.size());
+    date_index_[name] = date_columns_.size();
+    date_columns_.push_back(std::move(values));
+    column_names_.push_back(name);
+  }
+
+  const StringColumn& strings(const std::string& name) const {
+    return string_columns_[IndexOf(string_index_, name)];
+  }
+  StringColumn& strings(const std::string& name) {
+    return string_columns_[IndexOf(string_index_, name)];
+  }
+  const std::vector<int64_t>& int64s(const std::string& name) const {
+    return int64_columns_[IndexOf(int64_index_, name)];
+  }
+  const std::vector<double>& doubles(const std::string& name) const {
+    return double_columns_[IndexOf(double_index_, name)];
+  }
+  const std::vector<int32_t>& dates(const std::string& name) const {
+    return date_columns_[IndexOf(date_index_, name)];
+  }
+
+  bool has_string_column(const std::string& name) const {
+    return string_index_.contains(name);
+  }
+
+  /// All string columns (e.g. for the compression manager to reconfigure).
+  std::vector<StringColumn>& string_columns() { return string_columns_; }
+  const std::vector<StringColumn>& string_columns() const {
+    return string_columns_;
+  }
+  /// Name of string column `i`, parallel to string_columns().
+  const std::string& string_column_name(size_t i) const {
+    for (const auto& [name, index] : string_index_) {
+      if (index == i) return name;
+    }
+    ADICT_CHECK_MSG(false, "string column index out of range");
+    return name_;
+  }
+
+  const std::string& name() const { return name_; }
+  uint64_t num_rows() const { return num_rows_; }
+
+  size_t MemoryBytes() const {
+    size_t bytes = 0;
+    for (const StringColumn& col : string_columns_) bytes += col.MemoryBytes();
+    for (const auto& col : int64_columns_) bytes += col.size() * sizeof(int64_t);
+    for (const auto& col : double_columns_) bytes += col.size() * sizeof(double);
+    for (const auto& col : date_columns_) bytes += col.size() * sizeof(int32_t);
+    return bytes;
+  }
+
+ private:
+  template <typename Map>
+  size_t IndexOf(const Map& map, const std::string& name) const {
+    const auto it = map.find(name);
+    ADICT_CHECK_MSG(it != map.end(), name.c_str());
+    return it->second;
+  }
+
+  void CheckRows(uint64_t rows) {
+    if (column_names_.empty()) {
+      num_rows_ = rows;
+    } else {
+      ADICT_CHECK_MSG(rows == num_rows_, "column row count mismatch");
+    }
+  }
+
+  std::string name_;
+  uint64_t num_rows_ = 0;
+  std::vector<std::string> column_names_;
+  std::vector<StringColumn> string_columns_;
+  std::vector<std::vector<int64_t>> int64_columns_;
+  std::vector<std::vector<double>> double_columns_;
+  std::vector<std::vector<int32_t>> date_columns_;
+  std::unordered_map<std::string, size_t> string_index_;
+  std::unordered_map<std::string, size_t> int64_index_;
+  std::unordered_map<std::string, size_t> double_index_;
+  std::unordered_map<std::string, size_t> date_index_;
+};
+
+}  // namespace adict
+
+#endif  // ADICT_STORE_TABLE_H_

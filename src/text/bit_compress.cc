@@ -1,0 +1,73 @@
+#include "text/bit_compress.h"
+
+#include <bit>
+
+#include "util/check.h"
+
+namespace adict {
+
+std::unique_ptr<BitCompressCodec> BitCompressCodec::Train(
+    const std::vector<std::string_view>& samples) {
+  std::array<bool, 256> seen{};
+  for (std::string_view s : samples) {
+    for (unsigned char ch : s) seen[ch] = true;
+  }
+  return FromAlphabet(seen);
+}
+
+std::unique_ptr<BitCompressCodec> BitCompressCodec::Deserialize(ByteReader* in) {
+  std::array<bool, 256> seen{};
+  for (auto& flag : seen) flag = in->Read<uint8_t>() != 0;
+  return FromAlphabet(seen);
+}
+
+void BitCompressCodec::Serialize(ByteWriter* out) const {
+  out->Write<uint16_t>(static_cast<uint16_t>(kind()));
+  // The alphabet fully determines the code book.
+  for (bool flag : known_) out->Write<uint8_t>(flag ? 1 : 0);
+}
+
+std::unique_ptr<BitCompressCodec> BitCompressCodec::FromAlphabet(
+    const std::array<bool, 256>& seen) {
+  auto codec = std::unique_ptr<BitCompressCodec>(new BitCompressCodec());
+  codec->known_ = seen;
+  codec->char_to_code_.fill(0);
+  codec->code_to_char_.fill(0);
+  int next_code = 0;
+  for (int ch = 0; ch < 256; ++ch) {
+    if (!seen[ch]) continue;
+    codec->char_to_code_[ch] = static_cast<uint8_t>(next_code);
+    codec->code_to_char_[next_code] = static_cast<char>(ch);
+    ++next_code;
+  }
+  codec->alphabet_size_ = next_code;
+  // An empty alphabet (all-empty strings) still needs a defined width; a
+  // single-character alphabet needs one bit.
+  codec->bits_per_char_ =
+      next_code <= 1 ? 1 : std::bit_width(static_cast<unsigned>(next_code - 1));
+  return codec;
+}
+
+uint64_t BitCompressCodec::Encode(std::string_view s, BitWriter* out) const {
+  for (unsigned char ch : s) {
+    ADICT_DCHECK(known_[ch]);
+    out->WriteBits(char_to_code_[ch], bits_per_char_);
+  }
+  return static_cast<uint64_t>(s.size()) * bits_per_char_;
+}
+
+void BitCompressCodec::Decode(BitReader* in, uint64_t bit_len,
+                              std::string* out) const {
+  ADICT_DCHECK(bit_len % bits_per_char_ == 0);
+  const uint64_t n = bit_len / bits_per_char_;
+  for (uint64_t i = 0; i < n; ++i) {
+    out->push_back(code_to_char_[in->ReadBits(bits_per_char_)]);
+  }
+}
+
+size_t BitCompressCodec::TableBytes() const {
+  // char_to_code_, code_to_char_, known_.
+  return sizeof(char_to_code_) + sizeof(code_to_char_) + sizeof(known_);
+}
+
+}  // namespace adict

@@ -1,0 +1,52 @@
+// Bit Compression: every occurring character is represented by a fixed-width
+// code of ceil(log2(#chars)) bits. Codes are assigned in character order, so
+// the scheme is order-preserving. Because of the fixed width it decodes with
+// very CPU-friendly code (paper Section 3.2).
+#ifndef ADICT_TEXT_BIT_COMPRESS_H_
+#define ADICT_TEXT_BIT_COMPRESS_H_
+
+#include <array>
+#include <memory>
+
+#include "text/codec.h"
+
+namespace adict {
+
+class BitCompressCodec final : public StringCodec {
+ public:
+  /// Builds the code book from the characters occurring in `samples`.
+  static std::unique_ptr<BitCompressCodec> Train(
+      const std::vector<std::string_view>& samples);
+
+  /// Reconstructs a codec written by Serialize (kind tag already consumed).
+  static std::unique_ptr<BitCompressCodec> Deserialize(ByteReader* in);
+
+  CodecKind kind() const override { return CodecKind::kBitCompress; }
+  uint64_t Encode(std::string_view s, BitWriter* out) const override;
+  void Decode(BitReader* in, uint64_t bit_len, std::string* out) const override;
+  size_t TableBytes() const override;
+  bool order_preserving() const override { return true; }
+  void Serialize(ByteWriter* out) const override;
+
+  /// Code width in bits.
+  int bits_per_char() const { return bits_per_char_; }
+  /// Number of distinct characters in the code book.
+  int alphabet_size() const { return alphabet_size_; }
+
+ private:
+  BitCompressCodec() = default;
+
+  /// Builds the full code book from the set of occurring characters.
+  static std::unique_ptr<BitCompressCodec> FromAlphabet(
+      const std::array<bool, 256>& seen);
+
+  std::array<uint8_t, 256> char_to_code_;
+  std::array<char, 256> code_to_char_;
+  std::array<bool, 256> known_;
+  int bits_per_char_ = 0;
+  int alphabet_size_ = 0;
+};
+
+}  // namespace adict
+
+#endif  // ADICT_TEXT_BIT_COMPRESS_H_

@@ -1,0 +1,89 @@
+#include "text/codec.h"
+
+#include "text/bit_compress.h"
+#include "text/ngram.h"
+#include "text/prefix_code.h"
+#include "text/repair.h"
+#include "util/check.h"
+
+namespace adict {
+
+std::string_view CodecKindName(CodecKind kind) {
+  switch (kind) {
+    case CodecKind::kNone:
+      return "none";
+    case CodecKind::kBitCompress:
+      return "bc";
+    case CodecKind::kHuffman:
+      return "huffman";
+    case CodecKind::kHuTucker:
+      return "hu";
+    case CodecKind::kNgram2:
+      return "ng2";
+    case CodecKind::kNgram3:
+      return "ng3";
+    case CodecKind::kRePair12:
+      return "rp12";
+    case CodecKind::kRePair16:
+      return "rp16";
+  }
+  return "?";
+}
+
+std::unique_ptr<StringCodec> TrainCodec(
+    CodecKind kind, const std::vector<std::string_view>& samples) {
+  switch (kind) {
+    case CodecKind::kNone:
+      return nullptr;
+    case CodecKind::kBitCompress:
+      return BitCompressCodec::Train(samples);
+    case CodecKind::kHuffman:
+      return HuffmanCodec::Train(samples);
+    case CodecKind::kHuTucker:
+      return HuTuckerCodec::Train(samples);
+    case CodecKind::kNgram2:
+      return NgramCodec::Train(2, samples);
+    case CodecKind::kNgram3:
+      return NgramCodec::Train(3, samples);
+    case CodecKind::kRePair12:
+      return RePairCodec::Train(12, samples);
+    case CodecKind::kRePair16:
+      return RePairCodec::Train(16, samples);
+  }
+  ADICT_CHECK_MSG(false, "unknown codec kind");
+  return nullptr;
+}
+
+void SerializeCodec(const StringCodec* codec, ByteWriter* out) {
+  if (codec == nullptr) {
+    out->Write<uint16_t>(static_cast<uint16_t>(CodecKind::kNone));
+    return;
+  }
+  codec->Serialize(out);
+}
+
+std::unique_ptr<StringCodec> DeserializeCodec(ByteReader* in) {
+  const CodecKind kind = static_cast<CodecKind>(in->Read<uint16_t>());
+  switch (kind) {
+    case CodecKind::kNone:
+      return nullptr;
+    case CodecKind::kBitCompress:
+      return BitCompressCodec::Deserialize(in);
+    case CodecKind::kHuffman:
+      return HuffmanCodec::Deserialize(in);
+    case CodecKind::kHuTucker:
+      return HuTuckerCodec::Deserialize(in);
+    case CodecKind::kNgram2:
+      return NgramCodec::Deserialize(2, in);
+    case CodecKind::kNgram3:
+      return NgramCodec::Deserialize(3, in);
+    case CodecKind::kRePair12:
+      return RePairCodec::Deserialize(12, in);
+    case CodecKind::kRePair16:
+      return RePairCodec::Deserialize(16, in);
+  }
+  ADICT_CHECK_MSG(false, "corrupt codec kind tag");
+  return nullptr;
+}
+
+}  // namespace adict

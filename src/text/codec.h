@@ -1,0 +1,79 @@
+// String compression codec interface.
+//
+// A codec is trained on the string content of one dictionary (for array-class
+// dictionaries: the full strings; for front-coding dictionaries: the block
+// suffixes) and then encodes/decodes individual strings into a shared bit
+// stream. Decoding takes the exact bit length of the encoded string, which
+// the dictionaries know from their offset arrays, so no codec needs
+// terminators or padding.
+#ifndef ADICT_TEXT_CODEC_H_
+#define ADICT_TEXT_CODEC_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/bit_stream.h"
+#include "util/serde.h"
+
+namespace adict {
+
+/// The string compression schemes of the paper's survey (Section 3.3).
+enum class CodecKind {
+  kNone,         ///< raw bytes
+  kBitCompress,  ///< fixed-width codes over the occurring characters (bc)
+  kHuffman,      ///< minimum-redundancy prefix codes (not order-preserving)
+  kHuTucker,     ///< optimal alphabetic prefix codes (order-preserving, hu)
+  kNgram2,       ///< 12-bit codes for frequent 2-grams (ng2)
+  kNgram3,       ///< 12-bit codes for frequent 3-grams (ng3)
+  kRePair12,     ///< grammar compression, 12-bit symbol space (rp 12)
+  kRePair16,     ///< grammar compression, 16-bit symbol space (rp 16)
+};
+
+/// Human-readable codec name as used in the paper ("bc", "hu", "ng2", ...).
+std::string_view CodecKindName(CodecKind kind);
+
+/// Trained, immutable string compressor.
+class StringCodec {
+ public:
+  virtual ~StringCodec() = default;
+
+  virtual CodecKind kind() const = 0;
+
+  /// Appends the encoding of `s` to `out`. Returns the number of bits
+  /// appended. All characters of `s` must have occurred in training data.
+  virtual uint64_t Encode(std::string_view s, BitWriter* out) const = 0;
+
+  /// Decodes exactly `bit_len` bits from `in`, appending the decoded
+  /// characters to `out`.
+  virtual void Decode(BitReader* in, uint64_t bit_len, std::string* out) const = 0;
+
+  /// Heap footprint of the codec's tables (code books, grammars, ...),
+  /// counted into the dictionary's total memory consumption.
+  virtual size_t TableBytes() const = 0;
+
+  /// True if byte-lexicographic order of plain strings is preserved by
+  /// bit-lexicographic order of their encodings.
+  virtual bool order_preserving() const = 0;
+
+  /// Writes the codec's complete state (kind tag included) to `out`.
+  virtual void Serialize(ByteWriter* out) const = 0;
+};
+
+/// Trains a codec of the given kind on `samples`. Returns nullptr for
+/// CodecKind::kNone (dictionaries store raw bytes in that case).
+std::unique_ptr<StringCodec> TrainCodec(
+    CodecKind kind, const std::vector<std::string_view>& samples);
+
+/// Serializes `codec` (which may be nullptr for the raw case).
+void SerializeCodec(const StringCodec* codec, ByteWriter* out);
+
+/// Reconstructs a codec previously written by SerializeCodec; nullptr for
+/// the raw case.
+std::unique_ptr<StringCodec> DeserializeCodec(ByteReader* in);
+
+}  // namespace adict
+
+#endif  // ADICT_TEXT_CODEC_H_

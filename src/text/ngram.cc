@@ -1,0 +1,102 @@
+#include "text/ngram.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace adict {
+
+std::unique_ptr<NgramCodec> NgramCodec::Train(
+    int n, const std::vector<std::string_view>& samples) {
+  ADICT_CHECK(n == 2 || n == 3);
+  auto codec = std::unique_ptr<NgramCodec>(new NgramCodec(n));
+
+  // Count all n-gram occurrences (overlapping, within each string).
+  std::unordered_map<uint32_t, uint64_t> counts;
+  for (std::string_view s : samples) {
+    if (s.size() < static_cast<size_t>(n)) continue;
+    for (size_t i = 0; i + n <= s.size(); ++i) {
+      ++counts[codec->Key(s.data() + i)];
+    }
+  }
+
+  // Keep the 3840 most frequent; ties broken by key for determinism.
+  std::vector<std::pair<uint64_t, uint32_t>> ranked;
+  ranked.reserve(counts.size());
+  for (const auto& [key, count] : counts) ranked.emplace_back(count, key);
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  const size_t kept = std::min<size_t>(ranked.size(), kNumNgramCodes);
+  codec->ngrams_.reserve(kept);
+  for (size_t i = 0; i < kept; ++i) {
+    const uint32_t key = ranked[i].second;
+    std::array<char, 3> gram{};
+    for (int b = 0; b < n; ++b) {
+      gram[n - 1 - b] = static_cast<char>((key >> (8 * b)) & 0xff);
+    }
+    codec->ngram_to_code_[key] = static_cast<uint16_t>(i);
+    codec->ngrams_.push_back(gram);
+  }
+  return codec;
+}
+
+std::unique_ptr<NgramCodec> NgramCodec::Deserialize(int n, ByteReader* in) {
+  ADICT_CHECK(n == 2 || n == 3);
+  auto codec = std::unique_ptr<NgramCodec>(new NgramCodec(n));
+  codec->ngrams_ = in->ReadVector<std::array<char, 3>>();
+  codec->ngram_to_code_.reserve(codec->ngrams_.size());
+  for (size_t i = 0; i < codec->ngrams_.size(); ++i) {
+    codec->ngram_to_code_.emplace(codec->Key(codec->ngrams_[i].data()),
+                                  static_cast<uint16_t>(i));
+  }
+  return codec;
+}
+
+void NgramCodec::Serialize(ByteWriter* out) const {
+  out->Write<uint16_t>(static_cast<uint16_t>(kind()));
+  out->WriteVector(ngrams_);
+}
+
+uint64_t NgramCodec::Encode(std::string_view s, BitWriter* out) const {
+  uint64_t bits = 0;
+  size_t i = 0;
+  while (i < s.size()) {
+    if (i + n_ <= s.size()) {
+      const auto it = ngram_to_code_.find(Key(s.data() + i));
+      if (it != ngram_to_code_.end()) {
+        out->WriteBits(kNumBackupCodes + it->second, kCodeBits);
+        bits += kCodeBits;
+        i += n_;
+        continue;
+      }
+    }
+    out->WriteBits(static_cast<unsigned char>(s[i]), kCodeBits);
+    bits += kCodeBits;
+    ++i;
+  }
+  return bits;
+}
+
+void NgramCodec::Decode(BitReader* in, uint64_t bit_len,
+                        std::string* out) const {
+  ADICT_DCHECK(bit_len % kCodeBits == 0);
+  const uint64_t num_codes = bit_len / kCodeBits;
+  for (uint64_t c = 0; c < num_codes; ++c) {
+    const uint32_t code = static_cast<uint32_t>(in->ReadBits(kCodeBits));
+    if (code < kNumBackupCodes) {
+      out->push_back(static_cast<char>(code));
+    } else {
+      out->append(ngrams_[code - kNumBackupCodes].data(), n_);
+    }
+  }
+}
+
+size_t NgramCodec::TableBytes() const {
+  // Only the decode-side n-gram table is persisted with a read-only
+  // dictionary; the n-gram -> code map is construction-time state.
+  return ngrams_.size() * n_;
+}
+
+}  // namespace adict

@@ -1,0 +1,65 @@
+// N-Gram compression (paper Section 3.2): the 4096 - 256 = 3840 most
+// frequent character sequences of fixed length n are mapped to 12-bit codes;
+// the remaining 256 codes encode single characters as backup. Fixed code
+// width gives very fast extraction; the sort order is not preserved.
+#ifndef ADICT_TEXT_NGRAM_H_
+#define ADICT_TEXT_NGRAM_H_
+
+#include <array>
+#include <memory>
+#include <unordered_map>
+
+#include "text/codec.h"
+
+namespace adict {
+
+class NgramCodec final : public StringCodec {
+ public:
+  static constexpr int kCodeBits = 12;
+  static constexpr int kNumCodes = 1 << kCodeBits;       // 4096
+  static constexpr int kNumBackupCodes = 256;            // single characters
+  static constexpr int kNumNgramCodes = kNumCodes - kNumBackupCodes;  // 3840
+
+  /// Trains an n-gram codec (n = 2 or 3) on `samples`.
+  static std::unique_ptr<NgramCodec> Train(
+      int n, const std::vector<std::string_view>& samples);
+
+  /// Reconstructs a codec written by Serialize (kind tag already consumed).
+  static std::unique_ptr<NgramCodec> Deserialize(int n, ByteReader* in);
+
+  CodecKind kind() const override {
+    return n_ == 2 ? CodecKind::kNgram2 : CodecKind::kNgram3;
+  }
+  uint64_t Encode(std::string_view s, BitWriter* out) const override;
+  void Decode(BitReader* in, uint64_t bit_len, std::string* out) const override;
+  size_t TableBytes() const override;
+  bool order_preserving() const override { return false; }
+  void Serialize(ByteWriter* out) const override;
+
+  /// The n in n-gram.
+  int n() const { return n_; }
+  /// Number of n-grams that received proper codes (<= 3840).
+  int num_ngrams() const { return static_cast<int>(ngrams_.size()); }
+
+ private:
+  explicit NgramCodec(int n) : n_(n) {}
+
+  /// Packs the first n bytes at `p` into an integer key.
+  uint32_t Key(const char* p) const {
+    uint32_t key = 0;
+    for (int i = 0; i < n_; ++i) {
+      key = (key << 8) | static_cast<unsigned char>(p[i]);
+    }
+    return key;
+  }
+
+  int n_;
+  // n-gram -> code - 256; codes 0..255 are the single-byte backups.
+  std::unordered_map<uint32_t, uint16_t> ngram_to_code_;
+  // Covered n-grams by code - 256, each n_ bytes.
+  std::vector<std::array<char, 3>> ngrams_;
+};
+
+}  // namespace adict
+
+#endif  // ADICT_TEXT_NGRAM_H_

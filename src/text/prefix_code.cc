@@ -1,0 +1,319 @@
+#include "text/prefix_code.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/check.h"
+
+namespace adict {
+
+// ---------------------------------------------------------------------------
+// PrefixCodeCodec
+// ---------------------------------------------------------------------------
+
+uint64_t PrefixCodeCodec::Encode(std::string_view s, BitWriter* out) const {
+  uint64_t bits = 0;
+  for (unsigned char ch : s) {
+    const int len = lengths_[ch];
+    ADICT_DCHECK(len > 0);
+    out->WriteBits(codes_[ch], len);
+    bits += len;
+  }
+  return bits;
+}
+
+void PrefixCodeCodec::Decode(BitReader* in, uint64_t bit_len,
+                             std::string* out) const {
+  const uint64_t end = in->position() + bit_len;
+  while (in->position() < end) {
+    int node = root_;
+    while (nodes_[node].leaf < 0) {
+      node = nodes_[node].child[in->ReadBit()];
+      ADICT_DCHECK(node >= 0);
+    }
+    out->push_back(static_cast<char>(nodes_[node].leaf));
+  }
+  ADICT_DCHECK(in->position() == end);
+}
+
+size_t PrefixCodeCodec::TableBytes() const {
+  return sizeof(codes_) + sizeof(lengths_) +
+         nodes_.size() * sizeof(DecodeNode);
+}
+
+double PrefixCodeCodec::AverageCodeLength(
+    const std::array<uint64_t, 256>& freqs) const {
+  uint64_t total = 0;
+  uint64_t weighted = 0;
+  for (int ch = 0; ch < 256; ++ch) {
+    total += freqs[ch];
+    weighted += freqs[ch] * lengths_[ch];
+  }
+  return total == 0 ? 0.0 : static_cast<double>(weighted) / total;
+}
+
+void PrefixCodeCodec::InstallTree(std::vector<DecodeNode> nodes, int root) {
+  nodes_ = std::move(nodes);
+  nodes_.shrink_to_fit();
+  root_ = root;
+  codes_.fill(0);
+  lengths_.fill(0);
+  if (root_ < 0) return;
+
+  // DFS assigning 0 to the left edge and 1 to the right edge.
+  struct Frame {
+    int node;
+    uint32_t code;
+    int depth;
+  };
+  std::vector<Frame> stack{{root_, 0, 0}};
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    const DecodeNode& n = nodes_[f.node];
+    if (n.leaf >= 0) {
+      // A one-symbol alphabet yields a root leaf; give it a 1-bit code.
+      const int depth = std::max(f.depth, 1);
+      codes_[n.leaf] = f.code;
+      lengths_[n.leaf] = static_cast<uint8_t>(depth);
+      continue;
+    }
+    if (n.child[0] >= 0) stack.push_back({n.child[0], f.code << 1, f.depth + 1});
+    if (n.child[1] >= 0) {
+      stack.push_back({n.child[1], (f.code << 1) | 1u, f.depth + 1});
+    }
+  }
+}
+
+void PrefixCodeCodec::Serialize(ByteWriter* out) const {
+  out->Write<uint16_t>(static_cast<uint16_t>(kind()));
+  out->WriteBytes(codes_.data(), sizeof(codes_));
+  out->WriteBytes(lengths_.data(), sizeof(lengths_));
+  out->WriteVector(nodes_);
+  out->Write<int32_t>(root_);
+}
+
+void PrefixCodeCodec::DeserializeInto(ByteReader* in, PrefixCodeCodec* codec) {
+  in->ReadBytes(codec->codes_.data(), sizeof(codec->codes_));
+  in->ReadBytes(codec->lengths_.data(), sizeof(codec->lengths_));
+  codec->nodes_ = in->ReadVector<DecodeNode>();
+  codec->root_ = in->Read<int32_t>();
+}
+
+std::unique_ptr<HuffmanCodec> HuffmanCodec::Deserialize(ByteReader* in) {
+  auto codec = std::unique_ptr<HuffmanCodec>(new HuffmanCodec());
+  DeserializeInto(in, codec.get());
+  return codec;
+}
+
+std::unique_ptr<HuTuckerCodec> HuTuckerCodec::Deserialize(ByteReader* in) {
+  auto codec = std::unique_ptr<HuTuckerCodec>(new HuTuckerCodec());
+  DeserializeInto(in, codec.get());
+  return codec;
+}
+
+std::array<uint64_t, 256> PrefixCodeCodec::CountFrequencies(
+    const std::vector<std::string_view>& samples) {
+  std::array<uint64_t, 256> freqs{};
+  for (std::string_view s : samples) {
+    for (unsigned char ch : s) ++freqs[ch];
+  }
+  return freqs;
+}
+
+// ---------------------------------------------------------------------------
+// Huffman
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<HuffmanCodec> HuffmanCodec::Train(
+    const std::vector<std::string_view>& samples) {
+  const std::array<uint64_t, 256> freqs = CountFrequencies(samples);
+
+  auto codec = std::unique_ptr<HuffmanCodec>(new HuffmanCodec());
+  std::vector<DecodeNode> nodes;
+  // (weight, tie-break id, node index); the tie-break id keeps the heap
+  // deterministic across platforms.
+  using Entry = std::tuple<uint64_t, int, int>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  int next_id = 0;
+  for (int ch = 0; ch < 256; ++ch) {
+    if (freqs[ch] == 0) continue;
+    DecodeNode leaf;
+    leaf.leaf = static_cast<int16_t>(ch);
+    nodes.push_back(leaf);
+    heap.emplace(freqs[ch], next_id++, static_cast<int>(nodes.size()) - 1);
+  }
+  if (nodes.empty()) {
+    codec->InstallTree({}, -1);
+    return codec;
+  }
+  if (nodes.size() == 1) {
+    // One-symbol alphabet: decoding must still consume one bit per
+    // character, so hang the leaf under both edges of an internal root.
+    DecodeNode root;
+    root.child[0] = root.child[1] = 0;
+    nodes.push_back(root);
+    codec->InstallTree(std::move(nodes), 1);
+    return codec;
+  }
+  while (heap.size() > 1) {
+    const auto [w0, id0, n0] = heap.top();
+    heap.pop();
+    const auto [w1, id1, n1] = heap.top();
+    heap.pop();
+    DecodeNode parent;
+    parent.child[0] = static_cast<int16_t>(n0);
+    parent.child[1] = static_cast<int16_t>(n1);
+    nodes.push_back(parent);
+    heap.emplace(w0 + w1, next_id++, static_cast<int>(nodes.size()) - 1);
+  }
+  const int root = std::get<2>(heap.top());
+  codec->InstallTree(std::move(nodes), root);
+  return codec;
+}
+
+// ---------------------------------------------------------------------------
+// Hu-Tucker
+// ---------------------------------------------------------------------------
+
+std::vector<int> HuTuckerCodec::ComputeLevels(
+    const std::vector<uint64_t>& weights) {
+  const int n = static_cast<int>(weights.size());
+  ADICT_CHECK(n > 0);
+  if (n == 1) return {1};
+
+  // Phase 1 (combination): repeatedly merge the minimum-weight *compatible*
+  // pair. Two alive nodes are compatible if no alive original leaf lies
+  // strictly between them. Ties are broken towards the leftmost pair, which
+  // is the classic deterministic rule. O(n^2) per merge is fine for n <= 256.
+  struct P1Node {
+    uint64_t weight;
+    bool alive;
+    bool is_leaf;       // original leaf (blocks compatibility)
+    int left_child;     // -1 for leaves
+    int right_child;
+  };
+  std::vector<P1Node> pool;
+  pool.reserve(2 * n);
+  std::vector<int> slots(n);  // slots[i] = pool index of the node at position i
+  for (int i = 0; i < n; ++i) {
+    pool.push_back({weights[i], true, true, -1, -1});
+    slots[i] = i;
+  }
+  // positions: indices into slots that still hold alive nodes, in order.
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) order[i] = i;
+
+  for (int merges = 0; merges < n - 1; ++merges) {
+    // Find the minimum-weight compatible pair (i, j) with i < j in sequence
+    // order.
+    int best_i = -1, best_j = -1;
+    uint64_t best_w = ~0ull;
+    const int m = static_cast<int>(order.size());
+    for (int i = 0; i < m; ++i) {
+      const P1Node& a = pool[slots[order[i]]];
+      for (int j = i + 1; j < m; ++j) {
+        const P1Node& b = pool[slots[order[j]]];
+        const uint64_t w = a.weight + b.weight;
+        if (w < best_w) {
+          best_w = w;
+          best_i = i;
+          best_j = j;
+        }
+        // An original leaf terminates the compatible window of i.
+        if (b.is_leaf) break;
+      }
+    }
+    ADICT_CHECK(best_i >= 0);
+    const int li = order[best_i];
+    const int lj = order[best_j];
+    pool.push_back({best_w, true, false, slots[li], slots[lj]});
+    slots[li] = static_cast<int>(pool.size()) - 1;
+    order.erase(order.begin() + best_j);
+  }
+
+  // Depths of the original leaves in the phase-1 tree are the optimal
+  // alphabetic code lengths (Hu-Tucker theorem).
+  std::vector<int> levels(n, 0);
+  struct Frame {
+    int node;
+    int depth;
+  };
+  std::vector<Frame> stack{{slots[order[0]], 0}};
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    const P1Node& node = pool[f.node];
+    if (node.left_child < 0) {
+      // Original leaves are the first n pool entries, in alphabet order.
+      levels[f.node] = f.depth;
+      continue;
+    }
+    stack.push_back({node.left_child, f.depth + 1});
+    stack.push_back({node.right_child, f.depth + 1});
+  }
+  return levels;
+}
+
+std::unique_ptr<HuTuckerCodec> HuTuckerCodec::Train(
+    const std::vector<std::string_view>& samples) {
+  const std::array<uint64_t, 256> freqs = CountFrequencies(samples);
+
+  auto codec = std::unique_ptr<HuTuckerCodec>(new HuTuckerCodec());
+  std::vector<int> alphabet;
+  std::vector<uint64_t> weights;
+  for (int ch = 0; ch < 256; ++ch) {
+    if (freqs[ch] > 0) {
+      alphabet.push_back(ch);
+      weights.push_back(freqs[ch]);
+    }
+  }
+  if (alphabet.empty()) {
+    codec->InstallTree({}, -1);
+    return codec;
+  }
+  if (alphabet.size() == 1) {
+    // See HuffmanCodec::Train: one bit per character via a synthetic root.
+    std::vector<DecodeNode> nodes(2);
+    nodes[0].leaf = static_cast<int16_t>(alphabet[0]);
+    nodes[1].child[0] = nodes[1].child[1] = 0;
+    codec->InstallTree(std::move(nodes), 1);
+    return codec;
+  }
+
+  const std::vector<int> levels = ComputeLevels(weights);
+
+  // Phase 2 (reconstruction): rebuild an *alphabetic* tree from the level
+  // sequence with the classic stack algorithm: push leaves left to right and
+  // merge whenever the two top nodes share the same level.
+  std::vector<DecodeNode> nodes;
+  struct StackEntry {
+    int node;
+    int level;
+  };
+  std::vector<StackEntry> stack;
+  for (size_t i = 0; i < alphabet.size(); ++i) {
+    DecodeNode leaf;
+    leaf.leaf = static_cast<int16_t>(alphabet[i]);
+    nodes.push_back(leaf);
+    stack.push_back({static_cast<int>(nodes.size()) - 1, levels[i]});
+    while (stack.size() >= 2 &&
+           stack[stack.size() - 2].level == stack.back().level) {
+      const StackEntry right = stack.back();
+      stack.pop_back();
+      const StackEntry left = stack.back();
+      stack.pop_back();
+      DecodeNode parent;
+      parent.child[0] = static_cast<int16_t>(left.node);
+      parent.child[1] = static_cast<int16_t>(right.node);
+      nodes.push_back(parent);
+      stack.push_back({static_cast<int>(nodes.size()) - 1, left.level - 1});
+    }
+  }
+  ADICT_CHECK_MSG(stack.size() == 1 && stack[0].level == 0,
+                  "invalid Hu-Tucker level sequence");
+  codec->InstallTree(std::move(nodes), stack[0].node);
+  return codec;
+}
+
+}  // namespace adict

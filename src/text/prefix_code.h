@@ -1,0 +1,97 @@
+// Shared machinery for per-character prefix codes (Huffman and Hu-Tucker).
+//
+// Both codecs are represented the same way once trained: an encode table
+// (code value + length per byte) and a binary decode tree. They differ only
+// in how the code lengths / tree shape are computed.
+#ifndef ADICT_TEXT_PREFIX_CODE_H_
+#define ADICT_TEXT_PREFIX_CODE_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "text/codec.h"
+#include "util/bit_stream.h"
+
+namespace adict {
+
+/// Base class implementing encode/decode for any per-byte prefix code.
+class PrefixCodeCodec : public StringCodec {
+ public:
+  uint64_t Encode(std::string_view s, BitWriter* out) const override;
+  void Decode(BitReader* in, uint64_t bit_len, std::string* out) const override;
+  size_t TableBytes() const override;
+  void Serialize(ByteWriter* out) const override;
+
+  /// Code length in bits for byte `ch` (0 if the byte never occurred).
+  int CodeLength(unsigned char ch) const { return lengths_[ch]; }
+
+  /// Weighted average code length in bits per character under `freqs`.
+  double AverageCodeLength(const std::array<uint64_t, 256>& freqs) const;
+
+ protected:
+  struct DecodeNode {
+    // Child indices into nodes_; -1 if absent.
+    int16_t child[2] = {-1, -1};
+    // Decoded byte if this is a leaf, otherwise -1.
+    int16_t leaf = -1;
+  };
+
+  /// Builds the encode table and decode tree from a code tree expressed as
+  /// (leaf byte, depth) pairs in code order; used by subclasses after they
+  /// computed the tree shape. `tree_root` is the root of `nodes`.
+  void InstallTree(std::vector<DecodeNode> nodes, int root);
+
+  /// Restores the state written by Serialize into `codec` (for the static
+  /// Deserialize functions of the subclasses; the kind tag is already
+  /// consumed).
+  static void DeserializeInto(ByteReader* in, PrefixCodeCodec* codec);
+
+  /// Counts byte frequencies over the samples.
+  static std::array<uint64_t, 256> CountFrequencies(
+      const std::vector<std::string_view>& samples);
+
+  std::array<uint32_t, 256> codes_{};
+  std::array<uint8_t, 256> lengths_{};
+  std::vector<DecodeNode> nodes_;
+  int root_ = -1;
+};
+
+/// Classic Huffman codec (minimum redundancy, not order-preserving).
+class HuffmanCodec final : public PrefixCodeCodec {
+ public:
+  static std::unique_ptr<HuffmanCodec> Train(
+      const std::vector<std::string_view>& samples);
+  static std::unique_ptr<HuffmanCodec> Deserialize(ByteReader* in);
+
+  CodecKind kind() const override { return CodecKind::kHuffman; }
+  bool order_preserving() const override { return false; }
+
+ private:
+  HuffmanCodec() = default;
+};
+
+/// Hu-Tucker codec: optimal *alphabetic* prefix code. Codes of characters
+/// compare in the same order as the characters themselves, so compressed
+/// strings keep their sort order (paper Section 3.2).
+class HuTuckerCodec final : public PrefixCodeCodec {
+ public:
+  static std::unique_ptr<HuTuckerCodec> Train(
+      const std::vector<std::string_view>& samples);
+  static std::unique_ptr<HuTuckerCodec> Deserialize(ByteReader* in);
+
+  CodecKind kind() const override { return CodecKind::kHuTucker; }
+  bool order_preserving() const override { return true; }
+
+  /// Computes optimal alphabetic code lengths for `weights` (Hu-Tucker
+  /// phase 1 + 2). Exposed for testing. weights[i] > 0 for all i.
+  static std::vector<int> ComputeLevels(const std::vector<uint64_t>& weights);
+
+ private:
+  HuTuckerCodec() = default;
+};
+
+}  // namespace adict
+
+#endif  // ADICT_TEXT_PREFIX_CODE_H_

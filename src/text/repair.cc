@@ -1,0 +1,310 @@
+#include "text/repair.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/check.h"
+
+namespace adict {
+namespace {
+
+constexpr int32_t kEmpty = -1;
+constexpr int32_t kSeparator = -2;
+
+inline uint32_t PairKey(uint32_t a, uint32_t b) { return (a << 16) | b; }
+
+/// Mutable training sequence with hole skipping and per-pair occurrence
+/// lists (the Larsson-Moffat data structure, with a lazy max-heap instead of
+/// frequency buckets).
+class Trainer {
+ public:
+  explicit Trainer(const std::vector<std::string_view>& samples) {
+    size_t total = 0;
+    for (std::string_view s : samples) total += s.size() + 1;
+    seq_.reserve(total);
+    for (std::string_view s : samples) {
+      for (unsigned char ch : s) seq_.push_back(ch);
+      seq_.push_back(kSeparator);
+    }
+    const int32_t n = static_cast<int32_t>(seq_.size());
+    nxt_.resize(n);
+    prv_.resize(n);
+    occ_next_.assign(n, -1);
+    occ_prev_.assign(n, -1);
+    for (int32_t i = 0; i < n; ++i) {
+      nxt_[i] = i + 1;
+      prv_[i] = i - 1;
+    }
+    // Initial pair census.
+    for (int32_t i = 0; i + 1 < n; ++i) {
+      if (Pairable(seq_[i]) && Pairable(seq_[i + 1])) {
+        AddOccurrence(i, i + 1);
+      }
+    }
+  }
+
+  /// Runs replacement rounds until no pair occurs twice or `max_rules` rules
+  /// exist. Returns the rules in creation order.
+  std::vector<std::pair<uint16_t, uint16_t>> Run(size_t max_rules) {
+    std::vector<std::pair<uint16_t, uint16_t>> rules;
+    while (rules.size() < max_rules && !heap_.empty()) {
+      const auto [claimed, key] = heap_.top();
+      heap_.pop();
+      const auto it = counts_.find(key);
+      if (it == counts_.end() || it->second != claimed || claimed < 2) {
+        continue;  // stale heap entry
+      }
+      const uint32_t a = key >> 16;
+      const uint32_t b = key & 0xffff;
+
+      // Collect still-valid occurrence positions, left to right, skipping
+      // overlaps (relevant for pairs like (x, x) in runs of x).
+      std::vector<int32_t> positions;
+      for (int32_t p = HeadOf(key); p >= 0; p = occ_next_[p]) {
+        positions.push_back(p);
+      }
+      std::sort(positions.begin(), positions.end());
+      std::vector<int32_t> valid;
+      int32_t last_end = -1;
+      for (int32_t p : positions) {
+        if (seq_[p] != static_cast<int32_t>(a)) continue;
+        const int32_t q = Next(p);
+        if (q < 0 || seq_[q] != static_cast<int32_t>(b)) continue;
+        if (p <= last_end) continue;  // overlaps previous replacement site
+        valid.push_back(p);
+        last_end = q;
+      }
+      if (valid.size() < 2) {
+        // Overcounted (overlaps); keep the pair out of future consideration
+        // at its stale count but do not spend a rule on it.
+        counts_.erase(key);
+        heads_.erase(key);
+        continue;
+      }
+
+      const uint32_t rule_symbol = 256 + static_cast<uint32_t>(rules.size());
+      rules.emplace_back(static_cast<uint16_t>(a), static_cast<uint16_t>(b));
+
+      for (int32_t i : valid) {
+        // Re-validate: an earlier replacement in this round may have
+        // consumed a neighbor.
+        if (seq_[i] != static_cast<int32_t>(a)) continue;
+        const int32_t j = Next(i);
+        if (j < 0 || seq_[j] != static_cast<int32_t>(b)) continue;
+
+        const int32_t left = Prev(i);
+        const int32_t right = Next(j);
+
+        // Retire the old neighbor pairs.
+        if (left >= 0 && Pairable(seq_[left])) RemoveOccurrence(left, i);
+        if (right >= 0 && Pairable(seq_[right])) RemoveOccurrence(j, right);
+        RemoveOccurrence(i, j);
+
+        // Perform the replacement.
+        seq_[i] = static_cast<int32_t>(rule_symbol);
+        seq_[j] = kEmpty;
+        nxt_[i] = right >= 0 ? right : static_cast<int32_t>(seq_.size());
+        if (right >= 0) prv_[right] = i;
+
+        // Introduce the new neighbor pairs.
+        if (left >= 0 && Pairable(seq_[left])) AddOccurrence(left, i);
+        if (right >= 0 && Pairable(seq_[right])) AddOccurrence(i, right);
+      }
+      counts_.erase(key);
+      heads_.erase(key);
+    }
+    return rules;
+  }
+
+ private:
+  static bool Pairable(int32_t symbol) { return symbol >= 0; }
+
+  int32_t Next(int32_t i) const {
+    const int32_t n = nxt_[i];
+    return n < static_cast<int32_t>(seq_.size()) ? n : -1;
+  }
+  int32_t Prev(int32_t i) const { return prv_[i] >= 0 ? prv_[i] : -1; }
+
+  int32_t HeadOf(uint32_t key) const {
+    const auto it = heads_.find(key);
+    return it == heads_.end() ? -1 : it->second;
+  }
+
+  /// Registers the pair occurrence starting at position `p` (second symbol at
+  /// `q`) and bumps its count.
+  void AddOccurrence(int32_t p, int32_t q) {
+    const uint32_t key = PairKey(static_cast<uint32_t>(seq_[p]),
+                                 static_cast<uint32_t>(seq_[q]));
+    const uint32_t count = ++counts_[key];
+    auto [it, inserted] = heads_.try_emplace(key, p);
+    if (!inserted) {
+      occ_next_[p] = it->second;
+      occ_prev_[it->second] = p;
+      it->second = p;
+    } else {
+      occ_next_[p] = -1;
+    }
+    occ_prev_[p] = -1;
+    if (count >= 2) heap_.emplace(count, key);
+  }
+
+  /// Unregisters the pair occurrence starting at `p` (second symbol at `q`)
+  /// and drops its count.
+  void RemoveOccurrence(int32_t p, int32_t q) {
+    const uint32_t key = PairKey(static_cast<uint32_t>(seq_[p]),
+                                 static_cast<uint32_t>(seq_[q]));
+    const auto cit = counts_.find(key);
+    if (cit == counts_.end()) return;  // pair already fully retired
+    if (--cit->second == 0) counts_.erase(cit);
+
+    const int32_t prev = occ_prev_[p];
+    const int32_t next = occ_next_[p];
+    if (prev >= 0) occ_next_[prev] = next;
+    if (next >= 0) occ_prev_[next] = prev;
+    const auto hit = heads_.find(key);
+    if (hit != heads_.end() && hit->second == p) {
+      if (next >= 0) {
+        hit->second = next;
+      } else {
+        heads_.erase(hit);
+      }
+    }
+    occ_prev_[p] = occ_next_[p] = -1;
+  }
+
+  std::vector<int32_t> seq_;
+  std::vector<int32_t> nxt_;
+  std::vector<int32_t> prv_;
+  std::vector<int32_t> occ_next_;
+  std::vector<int32_t> occ_prev_;
+  std::unordered_map<uint32_t, uint32_t> counts_;
+  std::unordered_map<uint32_t, int32_t> heads_;
+  // Lazy max-heap of (count, pair); entries go stale when counts change and
+  // are re-validated against counts_ on pop.
+  std::priority_queue<std::pair<uint32_t, uint32_t>> heap_;
+};
+
+}  // namespace
+
+std::unique_ptr<RePairCodec> RePairCodec::Train(
+    int symbol_bits, const std::vector<std::string_view>& samples) {
+  ADICT_CHECK(symbol_bits == 12 || symbol_bits == 16);
+  auto codec = std::unique_ptr<RePairCodec>(new RePairCodec(symbol_bits));
+  const size_t max_rules = (1u << symbol_bits) - kFirstRuleSymbol;
+
+  Trainer trainer(samples);
+  codec->rules_ = trainer.Run(max_rules);
+  codec->pair_to_rule_.reserve(codec->rules_.size());
+  for (size_t k = 0; k < codec->rules_.size(); ++k) {
+    const auto [a, b] = codec->rules_[k];
+    codec->pair_to_rule_.emplace(PairKey(a, b), static_cast<uint32_t>(k));
+  }
+  return codec;
+}
+
+std::unique_ptr<RePairCodec> RePairCodec::Deserialize(int symbol_bits,
+                                                      ByteReader* in) {
+  ADICT_CHECK(symbol_bits == 12 || symbol_bits == 16);
+  auto codec = std::unique_ptr<RePairCodec>(new RePairCodec(symbol_bits));
+  const std::vector<uint32_t> packed = in->ReadVector<uint32_t>();
+  codec->rules_.reserve(packed.size());
+  codec->pair_to_rule_.reserve(packed.size());
+  for (size_t k = 0; k < packed.size(); ++k) {
+    const uint16_t a = static_cast<uint16_t>(packed[k] >> 16);
+    const uint16_t b = static_cast<uint16_t>(packed[k]);
+    codec->rules_.emplace_back(a, b);
+    codec->pair_to_rule_.emplace(PairKey(a, b), static_cast<uint32_t>(k));
+  }
+  return codec;
+}
+
+void RePairCodec::Serialize(ByteWriter* out) const {
+  out->Write<uint16_t>(static_cast<uint16_t>(kind()));
+  std::vector<uint32_t> packed;
+  packed.reserve(rules_.size());
+  for (const auto& [a, b] : rules_) {
+    packed.push_back(PairKey(a, b));
+  }
+  out->WriteVector(packed);
+}
+
+void RePairCodec::Parse(std::string_view s,
+                        std::vector<uint32_t>* symbols) const {
+  symbols->clear();
+  symbols->reserve(s.size());
+  for (unsigned char ch : s) symbols->push_back(ch);
+
+  // Replay rules in creation order: repeatedly find the lowest-numbered rule
+  // whose pair occurs, then replace all its (non-overlapping, leftmost-first)
+  // occurrences. Creation order approximates the global frequency order the
+  // trainer used, which keeps the parse close to the training parse.
+  while (symbols->size() >= 2) {
+    uint32_t best_rule = ~0u;
+    for (size_t i = 0; i + 1 < symbols->size(); ++i) {
+      const auto it =
+          pair_to_rule_.find(PairKey((*symbols)[i], (*symbols)[i + 1]));
+      if (it != pair_to_rule_.end() && it->second < best_rule) {
+        best_rule = it->second;
+      }
+    }
+    if (best_rule == ~0u) break;
+    const uint32_t a = rules_[best_rule].first;
+    const uint32_t b = rules_[best_rule].second;
+    size_t out = 0;
+    for (size_t i = 0; i < symbols->size();) {
+      if (i + 1 < symbols->size() && (*symbols)[i] == a &&
+          (*symbols)[i + 1] == b) {
+        (*symbols)[out++] = kFirstRuleSymbol + best_rule;
+        i += 2;
+      } else {
+        (*symbols)[out++] = (*symbols)[i];
+        ++i;
+      }
+    }
+    symbols->resize(out);
+  }
+}
+
+uint64_t RePairCodec::Encode(std::string_view s, BitWriter* out) const {
+  std::vector<uint32_t> symbols;
+  Parse(s, &symbols);
+  for (uint32_t sym : symbols) {
+    ADICT_DCHECK(sym < (1u << symbol_bits_));
+    out->WriteBits(sym, symbol_bits_);
+  }
+  return static_cast<uint64_t>(symbols.size()) * symbol_bits_;
+}
+
+void RePairCodec::ExpandSymbol(uint32_t symbol, std::string* out) const {
+  // Iterative expansion with an explicit stack; right children are pushed
+  // first so the output is produced left to right.
+  std::vector<uint32_t> stack{symbol};
+  while (!stack.empty()) {
+    const uint32_t sym = stack.back();
+    stack.pop_back();
+    if (sym < kFirstRuleSymbol) {
+      out->push_back(static_cast<char>(sym));
+    } else {
+      const auto [a, b] = rules_[sym - kFirstRuleSymbol];
+      stack.push_back(b);
+      stack.push_back(a);
+    }
+  }
+}
+
+void RePairCodec::Decode(BitReader* in, uint64_t bit_len,
+                         std::string* out) const {
+  ADICT_DCHECK(bit_len % symbol_bits_ == 0);
+  const uint64_t num_symbols = bit_len / symbol_bits_;
+  for (uint64_t i = 0; i < num_symbols; ++i) {
+    ExpandSymbol(static_cast<uint32_t>(in->ReadBits(symbol_bits_)), out);
+  }
+}
+
+size_t RePairCodec::TableBytes() const {
+  // Only the decode-side grammar is persisted with a read-only dictionary;
+  // the pair -> rule map is construction-time state.
+  return rules_.size() * sizeof(rules_[0]);
+}
+
+}  // namespace adict

@@ -1,0 +1,65 @@
+// Re-Pair grammar compression (Larsson & Moffat, DCC 1999; paper Section 3.2).
+//
+// Training repeatedly replaces the most frequent pair of adjacent symbols by
+// a fresh nonterminal until no pair occurs twice or the symbol space is
+// exhausted. The symbol space is 12 bits (256 terminals + up to 3840 rules,
+// "rp 12") or 16 bits (up to 65280 rules, "rp 16"); compressed strings are
+// sequences of fixed-width symbol codes.
+//
+// Pairs never span two strings: every dictionary entry must decompress
+// independently, so training inserts non-pairable separators between strings.
+#ifndef ADICT_TEXT_REPAIR_H_
+#define ADICT_TEXT_REPAIR_H_
+
+#include <memory>
+#include <unordered_map>
+#include <utility>
+
+#include "text/codec.h"
+
+namespace adict {
+
+class RePairCodec final : public StringCodec {
+ public:
+  /// Trains a Re-Pair grammar over `samples`. `symbol_bits` is 12 or 16.
+  static std::unique_ptr<RePairCodec> Train(
+      int symbol_bits, const std::vector<std::string_view>& samples);
+
+  /// Reconstructs a codec written by Serialize (kind tag already consumed).
+  static std::unique_ptr<RePairCodec> Deserialize(int symbol_bits,
+                                                  ByteReader* in);
+
+  CodecKind kind() const override {
+    return symbol_bits_ == 12 ? CodecKind::kRePair12 : CodecKind::kRePair16;
+  }
+  uint64_t Encode(std::string_view s, BitWriter* out) const override;
+  void Decode(BitReader* in, uint64_t bit_len, std::string* out) const override;
+  size_t TableBytes() const override;
+  bool order_preserving() const override { return false; }
+  void Serialize(ByteWriter* out) const override;
+
+  int symbol_bits() const { return symbol_bits_; }
+  size_t num_rules() const { return rules_.size(); }
+
+  /// Expands a single symbol (terminal or rule) to its character string.
+  void ExpandSymbol(uint32_t symbol, std::string* out) const;
+
+ private:
+  explicit RePairCodec(int symbol_bits) : symbol_bits_(symbol_bits) {}
+
+  static constexpr uint32_t kFirstRuleSymbol = 256;
+
+  /// Parses `s` into grammar symbols by replaying rules in creation order
+  /// (most frequent pairs were created first).
+  void Parse(std::string_view s, std::vector<uint32_t>* symbols) const;
+
+  int symbol_bits_;
+  // rules_[k] = (left, right) defines symbol 256 + k.
+  std::vector<std::pair<uint16_t, uint16_t>> rules_;
+  // (a << 16 | b) -> rule index (not symbol).
+  std::unordered_map<uint32_t, uint32_t> pair_to_rule_;
+};
+
+}  // namespace adict
+
+#endif  // ADICT_TEXT_REPAIR_H_

@@ -1,0 +1,97 @@
+// Bit-granular output and input streams.
+//
+// All compressed dictionary payloads in this library are stored as one
+// contiguous bit stream addressed by bit offsets, so codecs never need
+// per-string terminators or byte padding. Bits are written MSB-first within
+// each byte, which keeps the stream's lexicographic byte order consistent
+// with the bit order (relevant for order-preserving codes).
+#ifndef ADICT_UTIL_BIT_STREAM_H_
+#define ADICT_UTIL_BIT_STREAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace adict {
+
+/// Append-only bit stream writer. Bits are packed MSB-first into bytes.
+class BitWriter {
+ public:
+  BitWriter() = default;
+
+  /// Appends the `nbits` low-order bits of `value`, most significant first.
+  void WriteBits(uint64_t value, int nbits) {
+    ADICT_DCHECK(nbits >= 0 && nbits <= 64);
+    for (int i = nbits - 1; i >= 0; --i) {
+      WriteBit((value >> i) & 1u);
+    }
+  }
+
+  /// Appends a single bit (0 or 1).
+  void WriteBit(unsigned bit) {
+    const uint64_t byte_index = bit_count_ >> 3;
+    if (byte_index >= bytes_.size()) bytes_.push_back(0);
+    if (bit) bytes_[byte_index] |= static_cast<uint8_t>(0x80u >> (bit_count_ & 7));
+    ++bit_count_;
+  }
+
+  /// Number of bits written so far.
+  uint64_t bit_count() const { return bit_count_; }
+
+  /// Underlying byte buffer (last byte may be partially used).
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+
+  /// Moves the byte buffer out; the writer is left empty.
+  std::vector<uint8_t> TakeBytes() {
+    bit_count_ = 0;
+    return std::move(bytes_);
+  }
+
+  void Clear() {
+    bytes_.clear();
+    bit_count_ = 0;
+  }
+
+ private:
+  std::vector<uint8_t> bytes_;
+  uint64_t bit_count_ = 0;
+};
+
+/// Bit stream reader positioned at an arbitrary bit offset.
+class BitReader {
+ public:
+  /// Reads from `data` starting at absolute bit position `bit_offset`.
+  /// `data` must outlive the reader.
+  BitReader(const uint8_t* data, uint64_t bit_offset)
+      : data_(data), pos_(bit_offset) {}
+
+  /// Reads a single bit.
+  unsigned ReadBit() {
+    const unsigned bit = (data_[pos_ >> 3] >> (7 - (pos_ & 7))) & 1u;
+    ++pos_;
+    return bit;
+  }
+
+  /// Reads `nbits` bits MSB-first and returns them as the low-order bits of
+  /// the result.
+  uint64_t ReadBits(int nbits) {
+    ADICT_DCHECK(nbits >= 0 && nbits <= 64);
+    uint64_t value = 0;
+    for (int i = 0; i < nbits; ++i) {
+      value = (value << 1) | ReadBit();
+    }
+    return value;
+  }
+
+  /// Absolute bit position of the reader.
+  uint64_t position() const { return pos_; }
+
+ private:
+  const uint8_t* data_;
+  uint64_t pos_;
+};
+
+}  // namespace adict
+
+#endif  // ADICT_UTIL_BIT_STREAM_H_

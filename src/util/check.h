@@ -1,0 +1,38 @@
+// Lightweight runtime assertion macros.
+//
+// The library follows a no-exceptions style: precondition violations are
+// programming errors and abort with a diagnostic. ADICT_CHECK is always on;
+// ADICT_DCHECK compiles away in NDEBUG builds and is used on hot paths.
+#ifndef ADICT_UTIL_CHECK_H_
+#define ADICT_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define ADICT_CHECK(cond)                                                   \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "ADICT_CHECK failed: %s at %s:%d\n", #cond,      \
+                   __FILE__, __LINE__);                                     \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define ADICT_CHECK_MSG(cond, msg)                                          \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "ADICT_CHECK failed: %s (%s) at %s:%d\n", #cond, \
+                   msg, __FILE__, __LINE__);                                \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#ifdef NDEBUG
+#define ADICT_DCHECK(cond) \
+  do {                     \
+  } while (0)
+#else
+#define ADICT_DCHECK(cond) ADICT_CHECK(cond)
+#endif
+
+#endif  // ADICT_UTIL_CHECK_H_

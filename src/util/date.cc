@@ -1,0 +1,26 @@
+#include "util/date.h"
+
+namespace adict {
+namespace {
+
+bool IsLeap(int y) { return y % 4 == 0 && (y % 100 != 0 || y % 400 == 0); }
+
+unsigned DaysInMonth(int y, unsigned m) {
+  static constexpr unsigned kDays[] = {31, 28, 31, 30, 31, 30,
+                                       31, 31, 30, 31, 30, 31};
+  return m == 2 && IsLeap(y) ? 29 : kDays[m - 1];
+}
+
+}  // namespace
+
+int32_t AddMonths(int32_t days, int months) {
+  CivilDate c = CivilFromDays(days);
+  int month_index = c.year * 12 + static_cast<int>(c.month) - 1 + months;
+  const int year = month_index >= 0 ? month_index / 12 : (month_index - 11) / 12;
+  const unsigned month = static_cast<unsigned>(month_index - year * 12) + 1;
+  const unsigned day =
+      c.day <= DaysInMonth(year, month) ? c.day : DaysInMonth(year, month);
+  return DaysFromCivil(year, month, day);
+}
+
+}  // namespace adict

@@ -1,0 +1,74 @@
+// Proleptic Gregorian calendar helpers (days since 1970-01-01).
+//
+// Used by the TPC-H substrate: DATE columns are stored as int32 day numbers
+// so that interval arithmetic (e.g. l_shipdate <= '1998-12-01' - 90 days) is
+// plain integer math. The civil/day conversions use Howard Hinnant's
+// algorithms.
+#ifndef ADICT_UTIL_DATE_H_
+#define ADICT_UTIL_DATE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "util/check.h"
+
+namespace adict {
+
+/// Days since 1970-01-01 for a civil date (valid far beyond TPC-H's range).
+constexpr int32_t DaysFromCivil(int y, unsigned m, unsigned d) {
+  y -= m <= 2;
+  const int era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);            // [0, 399]
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;  // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;           // [0, 146096]
+  return era * 146097 + static_cast<int32_t>(doe) - 719468;
+}
+
+/// Civil date from days since 1970-01-01.
+struct CivilDate {
+  int year;
+  unsigned month;
+  unsigned day;
+};
+
+constexpr CivilDate CivilFromDays(int32_t z) {
+  z += 719468;
+  const int era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);       // [0, 146096]
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int y = static_cast<int>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);       // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                            // [0, 11]
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;                    // [1, 31]
+  const unsigned m = mp + (mp < 10 ? 3 : -9);                         // [1, 12]
+  return {y + (m <= 2), m, d};
+}
+
+/// Parses "YYYY-MM-DD" into days since epoch.
+inline int32_t ParseDate(std::string_view s) {
+  ADICT_CHECK_MSG(s.size() == 10 && s[4] == '-' && s[7] == '-',
+                  "date must be YYYY-MM-DD");
+  auto digits = [&s](int pos, int len) {
+    int v = 0;
+    for (int i = 0; i < len; ++i) v = v * 10 + (s[pos + i] - '0');
+    return v;
+  };
+  return DaysFromCivil(digits(0, 4), digits(5, 2), digits(8, 2));
+}
+
+/// Formats days since epoch as "YYYY-MM-DD".
+inline std::string FormatDate(int32_t days) {
+  const CivilDate c = CivilFromDays(days);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02u-%02u", c.year, c.month, c.day);
+  return buf;
+}
+
+/// Adds `months` calendar months, clamping the day into the target month.
+int32_t AddMonths(int32_t days, int months);
+
+}  // namespace adict
+
+#endif  // ADICT_UTIL_DATE_H_

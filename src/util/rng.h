@@ -1,0 +1,69 @@
+// Deterministic pseudo-random number generation.
+//
+// All synthetic data in the repository is generated from explicitly seeded
+// generators so that every test, example, and benchmark is reproducible.
+#ifndef ADICT_UTIL_RNG_H_
+#define ADICT_UTIL_RNG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace adict {
+
+/// Small, fast, deterministic RNG (xorshift128+ seeded via splitmix64).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) {
+    // splitmix64 to spread the seed over both words.
+    auto mix = [&seed]() {
+      seed += 0x9e3779b97f4a7c15ull;
+      uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      return z ^ (z >> 31);
+    };
+    s0_ = mix();
+    s1_ = mix();
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t Uniform(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Random string of length `len` over `alphabet`.
+  std::string RandomString(size_t len, std::string_view alphabet) {
+    std::string s;
+    s.reserve(len);
+    for (size_t i = 0; i < len; ++i) {
+      s.push_back(alphabet[Uniform(alphabet.size())]);
+    }
+    return s;
+  }
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace adict
+
+#endif  // ADICT_UTIL_RNG_H_

@@ -1,0 +1,102 @@
+// Minimal binary serialization primitives: little-endian, length-prefixed,
+// bounds-checked. Used for dictionary persistence.
+#ifndef ADICT_UTIL_SERDE_H_
+#define ADICT_UTIL_SERDE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "util/check.h"
+
+namespace adict {
+
+/// Append-only byte sink.
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::vector<uint8_t>* out) : out_(out) {}
+
+  template <typename T>
+  void Write(T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const size_t offset = out_->size();
+    out_->resize(offset + sizeof(T));
+    std::memcpy(out_->data() + offset, &value, sizeof(T));
+  }
+
+  void WriteBytes(const void* data, size_t size) {
+    const size_t offset = out_->size();
+    out_->resize(offset + size);
+    std::memcpy(out_->data() + offset, data, size);
+  }
+
+  /// u64 length prefix + elements.
+  template <typename T>
+  void WriteVector(const std::vector<T>& values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Write<uint64_t>(values.size());
+    WriteBytes(values.data(), values.size() * sizeof(T));
+  }
+
+  void WriteString(const std::string& s) {
+    Write<uint64_t>(s.size());
+    WriteBytes(s.data(), s.size());
+  }
+
+ private:
+  std::vector<uint8_t>* out_;
+};
+
+/// Bounds-checked byte source.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  template <typename T>
+  T Read() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    ADICT_CHECK_MSG(pos_ + sizeof(T) <= size_, "serialized data truncated");
+    T value;
+    std::memcpy(&value, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  void ReadBytes(void* out, size_t size) {
+    ADICT_CHECK_MSG(pos_ + size <= size_, "serialized data truncated");
+    std::memcpy(out, data_ + pos_, size);
+    pos_ += size;
+  }
+
+  template <typename T>
+  std::vector<T> ReadVector() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const uint64_t count = Read<uint64_t>();
+    ADICT_CHECK_MSG(pos_ + count * sizeof(T) <= size_,
+                    "serialized data truncated");
+    std::vector<T> values(count);
+    ReadBytes(values.data(), count * sizeof(T));
+    return values;
+  }
+
+  std::string ReadString() {
+    const uint64_t count = Read<uint64_t>();
+    std::string s(count, '\0');
+    ReadBytes(s.data(), count);
+    return s;
+  }
+
+  size_t position() const { return pos_; }
+  bool exhausted() const { return pos_ == size_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace adict
+
+#endif  // ADICT_UTIL_SERDE_H_

@@ -1,0 +1,24 @@
+// Minimal SHA-256 implementation (FIPS 180-4).
+//
+// Used by the `hash` survey data set generator, which reproduces the paper's
+// "salted SHA hashes of passwords, all starting with the same prefix"
+// workload. Not intended as a general-purpose cryptographic library.
+#ifndef ADICT_UTIL_SHA256_H_
+#define ADICT_UTIL_SHA256_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace adict {
+
+/// Computes the SHA-256 digest of `data`.
+std::array<uint8_t, 32> Sha256(std::string_view data);
+
+/// Computes the SHA-256 digest of `data` and returns it as lowercase hex.
+std::string Sha256Hex(std::string_view data);
+
+}  // namespace adict
+
+#endif  // ADICT_UTIL_SHA256_H_

@@ -1,0 +1,31 @@
+// Wall-clock stopwatch used by benchmarks and the cost-model calibration.
+#ifndef ADICT_UTIL_STOPWATCH_H_
+#define ADICT_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace adict {
+
+/// Measures elapsed wall-clock time from construction or the last Restart().
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in microseconds.
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace adict
+
+#endif  // ADICT_UTIL_STOPWATCH_H_

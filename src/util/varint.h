@@ -1,0 +1,47 @@
+// LEB128-style variable-length integer encoding.
+//
+// Used by the inline front coding dictionary, which interleaves prefix and
+// suffix lengths with the string data.
+#ifndef ADICT_UTIL_VARINT_H_
+#define ADICT_UTIL_VARINT_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace adict {
+
+/// Appends `value` to `out` as a little-endian base-128 varint.
+inline void PutVarint(std::vector<uint8_t>* out, uint64_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(value));
+}
+
+/// Reads a varint from `data` at `*pos`, advancing `*pos` past it.
+inline uint64_t GetVarint(const uint8_t* data, size_t* pos) {
+  uint64_t value = 0;
+  int shift = 0;
+  while (true) {
+    const uint8_t byte = data[(*pos)++];
+    value |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+  }
+  return value;
+}
+
+/// Number of bytes PutVarint would use for `value`.
+inline size_t VarintLength(uint64_t value) {
+  size_t len = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++len;
+  }
+  return len;
+}
+
+}  // namespace adict
+
+#endif  // ADICT_UTIL_VARINT_H_

@@ -1,0 +1,11 @@
+#include "util/zipf.h"
+
+#include <cmath>
+
+namespace adict {
+
+double ZipfDistribution::Pow(double base, double exp) {
+  return std::pow(base, exp);
+}
+
+}  // namespace adict

@@ -1,0 +1,57 @@
+// Zipf-distributed sampling.
+//
+// Used to synthesize the column populations behind Figures 1 and 2 of the
+// paper (dictionary sizes in real systems roughly follow a Zipf law) and to
+// skew token frequencies in the synthetic survey data sets.
+#ifndef ADICT_UTIL_ZIPF_H_
+#define ADICT_UTIL_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace adict {
+
+/// Samples ranks in [0, n) with probability proportional to 1 / (rank+1)^s.
+///
+/// Uses a precomputed cumulative table and binary search, which is exact and
+/// fast enough for the population sizes used here.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(uint64_t n, double s) : cdf_(n) {
+    ADICT_CHECK(n > 0);
+    double sum = 0.0;
+    for (uint64_t i = 0; i < n; ++i) {
+      sum += 1.0 / Pow(static_cast<double>(i + 1), s);
+      cdf_[i] = sum;
+    }
+    for (uint64_t i = 0; i < n; ++i) cdf_[i] /= sum;
+  }
+
+  /// Draws one rank.
+  uint64_t Sample(Rng* rng) const {
+    const double u = rng->NextDouble();
+    // Binary search for the first cdf entry >= u.
+    uint64_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const uint64_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+ private:
+  static double Pow(double base, double exp);
+
+  std::vector<double> cdf_;
+};
+
+}  // namespace adict
+
+#endif  // ADICT_UTIL_ZIPF_H_

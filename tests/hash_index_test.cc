@@ -1,0 +1,76 @@
+// Tests for the hash-based equality-locate accelerator.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "datasets/generators.h"
+#include "dict/hash_index.h"
+#include "util/rng.h"
+
+namespace adict {
+namespace {
+
+class HashIndexFormatTest : public ::testing::TestWithParam<DictFormat> {};
+
+TEST_P(HashIndexFormatTest, AgreesWithLocateOnHitsAndMisses) {
+  const std::vector<std::string> sorted = GenerateSurveyDataset("mat", 2000, 1);
+  auto dict = BuildDictionary(GetParam(), sorted);
+  const HashLocateIndex index(*dict);
+
+  for (uint32_t id = 0; id < dict->size(); ++id) {
+    ASSERT_EQ(index.Lookup(sorted[id]), id);
+  }
+  Rng rng(2);
+  for (int i = 0; i < 300; ++i) {
+    std::string probe = sorted[rng.Uniform(sorted.size())];
+    probe.push_back('!');  // not in the dictionary
+    ASSERT_EQ(index.Lookup(probe), HashLocateIndex::kNotFound);
+  }
+  EXPECT_EQ(index.Lookup(""), HashLocateIndex::kNotFound);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SomeFormats, HashIndexFormatTest,
+    ::testing::Values(DictFormat::kArray, DictFormat::kArrayFixed,
+                      DictFormat::kFcBlockRp12, DictFormat::kColumnBc),
+    [](const ::testing::TestParamInfo<DictFormat>& info) {
+      std::string name(DictFormatName(info.param));
+      std::replace(name.begin(), name.end(), ' ', '_');
+      return name;
+    });
+
+TEST(HashIndex, HandlesSimilarStringsWithoutFalsePositives) {
+  // Near-identical strings stress the fingerprint path.
+  std::vector<std::string> sorted;
+  for (int i = 0; i < 5000; ++i) sorted.push_back("key-" + std::to_string(i));
+  sorted = SortedUnique(std::move(sorted));
+  auto dict = BuildDictionary(DictFormat::kFcBlock, sorted);
+  const HashLocateIndex index(*dict);
+  for (uint32_t id = 0; id < dict->size(); id += 13) {
+    ASSERT_EQ(index.Lookup(sorted[id]), id);
+  }
+  EXPECT_EQ(index.Lookup("key-99999"), HashLocateIndex::kNotFound);
+  EXPECT_EQ(index.Lookup("key-"), HashLocateIndex::kNotFound);
+}
+
+TEST(HashIndex, MemoryIsEightishBytesPerEntry) {
+  const std::vector<std::string> sorted = GenerateSurveyDataset("engl", 4000, 3);
+  auto dict = BuildDictionary(DictFormat::kArray, sorted);
+  const HashLocateIndex index(*dict);
+  // Power-of-two capacity at load factor <= 0.5: between 8 and 32 bytes per
+  // entry.
+  EXPECT_GE(index.MemoryBytes(), sorted.size() * 8u);
+  EXPECT_LE(index.MemoryBytes(), sorted.size() * 32u + sizeof(index));
+}
+
+TEST(HashIndex, TinyDictionary) {
+  const std::vector<std::string> sorted = {"only"};
+  auto dict = BuildDictionary(DictFormat::kArray, sorted);
+  const HashLocateIndex index(*dict);
+  EXPECT_EQ(index.Lookup("only"), 0u);
+  EXPECT_EQ(index.Lookup("other"), HashLocateIndex::kNotFound);
+}
+
+}  // namespace
+}  // namespace adict

@@ -1,0 +1,216 @@
+// Property-based tests: randomized invariants across formats and codecs,
+// and brute-force cross-checks for the optimization algorithms.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/controller.h"
+#include "datasets/generators.h"
+#include "dict/dictionary.h"
+#include "text/prefix_code.h"
+#include "text/repair.h"
+#include "util/bit_stream.h"
+#include "util/rng.h"
+
+namespace adict {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Hu-Tucker vs. the Gilbert-Moore O(n^3) DP for optimal alphabetic trees.
+// ---------------------------------------------------------------------------
+
+/// Reference: minimal weighted depth of any alphabetic binary tree.
+uint64_t OptimalAlphabeticCost(const std::vector<uint64_t>& weights) {
+  const size_t n = weights.size();
+  std::vector<uint64_t> prefix(n + 1, 0);
+  for (size_t i = 0; i < n; ++i) prefix[i + 1] = prefix[i] + weights[i];
+
+  constexpr uint64_t kInf = std::numeric_limits<uint64_t>::max() / 4;
+  // cost[i][j]: optimal cost of the leaves i..j (inclusive).
+  std::vector<std::vector<uint64_t>> cost(n, std::vector<uint64_t>(n, 0));
+  for (size_t len = 2; len <= n; ++len) {
+    for (size_t i = 0; i + len <= n; ++i) {
+      const size_t j = i + len - 1;
+      uint64_t best = kInf;
+      for (size_t k = i; k < j; ++k) {
+        best = std::min(best, cost[i][k] + cost[k + 1][j]);
+      }
+      cost[i][j] = best + (prefix[j + 1] - prefix[i]);
+    }
+  }
+  return cost[0][n - 1];
+}
+
+uint64_t CostOfLevels(const std::vector<uint64_t>& weights,
+                      const std::vector<int>& levels) {
+  uint64_t cost = 0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    cost += weights[i] * static_cast<uint64_t>(levels[i]);
+  }
+  return cost;
+}
+
+TEST(HuTuckerProperty, MatchesBruteForceOptimumOnRandomWeights) {
+  Rng rng(1);
+  for (int round = 0; round < 200; ++round) {
+    const size_t n = 2 + rng.Uniform(14);
+    std::vector<uint64_t> weights(n);
+    for (auto& w : weights) w = 1 + rng.Uniform(100);
+    const std::vector<int> levels = HuTuckerCodec::ComputeLevels(weights);
+    ASSERT_EQ(CostOfLevels(weights, levels), OptimalAlphabeticCost(weights))
+        << "round " << round;
+  }
+}
+
+TEST(HuTuckerProperty, MatchesBruteForceOnAdversarialShapes) {
+  // Monotone, alternating, single-heavy, and all-equal weight profiles.
+  const std::vector<std::vector<uint64_t>> cases = {
+      {1, 2, 3, 4, 5, 6, 7, 8},
+      {8, 7, 6, 5, 4, 3, 2, 1},
+      {100, 1, 100, 1, 100, 1},
+      {1, 1, 1000, 1, 1},
+      {5, 5, 5, 5, 5, 5, 5},
+      {1, 1000},
+      {1000, 1},
+  };
+  for (const auto& weights : cases) {
+    const std::vector<int> levels = HuTuckerCodec::ComputeLevels(weights);
+    EXPECT_EQ(CostOfLevels(weights, levels), OptimalAlphabeticCost(weights));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Randomized dictionary invariants across all formats.
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> RandomDictionary(Rng* rng, bool allow_empty) {
+  std::vector<std::string> values;
+  const int n = 1 + static_cast<int>(rng->Uniform(300));
+  const int alphabet = 1 + static_cast<int>(rng->Uniform(40));
+  for (int i = 0; i < n; ++i) {
+    const size_t len = rng->Uniform(25) + (allow_empty ? 0 : 1);
+    std::string s;
+    for (size_t j = 0; j < len; ++j) {
+      s.push_back(static_cast<char>('0' + rng->Uniform(alphabet)));
+    }
+    values.push_back(std::move(s));
+  }
+  return SortedUnique(std::move(values));
+}
+
+class DictionaryPropertyTest : public ::testing::TestWithParam<DictFormat> {};
+
+TEST_P(DictionaryPropertyTest, ExtractIsMonotoneAndLocateIsInverse) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 100);
+  for (int round = 0; round < 15; ++round) {
+    const std::vector<std::string> sorted =
+        RandomDictionary(&rng, /*allow_empty=*/round % 2 == 0);
+    auto dict = BuildDictionary(GetParam(), sorted);
+    std::string prev;
+    for (uint32_t id = 0; id < dict->size(); ++id) {
+      const std::string value = dict->Extract(id);
+      if (id > 0) {
+        ASSERT_LT(prev, value);  // order preservation
+      }
+      const LocateResult r = dict->Locate(value);  // locate inverts extract
+      ASSERT_TRUE(r.found);
+      ASSERT_EQ(r.id, id);
+      prev = value;
+    }
+  }
+}
+
+TEST_P(DictionaryPropertyTest, LocateBoundaries) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 200);
+  const std::vector<std::string> sorted = RandomDictionary(&rng, false);
+  auto dict = BuildDictionary(GetParam(), sorted);
+  // Below the first entry.
+  EXPECT_EQ(dict->Locate(""), (LocateResult{0, false}));
+  // Above the last entry.
+  const std::string beyond = sorted.back() + "\x7f";
+  EXPECT_EQ(dict->Locate(beyond), (LocateResult{dict->size(), false}));
+}
+
+TEST_P(DictionaryPropertyTest, EmptyStringEntrySupported) {
+  // "" is a legal dictionary entry and must sort first.
+  std::vector<std::string> sorted = {"", "a", "b"};
+  if (GetParam() == DictFormat::kArrayFixed) {
+    // array fixed represents "" as an all-padding slot; covered implicitly.
+    return;
+  }
+  auto dict = BuildDictionary(GetParam(), sorted);
+  EXPECT_EQ(dict->Extract(0), "");
+  EXPECT_EQ(dict->Locate(""), (LocateResult{0, true}));
+  EXPECT_EQ(dict->Extract(2), "b");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFormats, DictionaryPropertyTest,
+    ::testing::ValuesIn(AllDictFormats().begin(), AllDictFormats().end()),
+    [](const ::testing::TestParamInfo<DictFormat>& info) {
+      std::string name(DictFormatName(info.param));
+      std::replace(name.begin(), name.end(), ' ', '_');
+      return name;
+    });
+
+// ---------------------------------------------------------------------------
+// Codec determinism and stability.
+// ---------------------------------------------------------------------------
+
+TEST(RePairProperty, TrainingIsDeterministic) {
+  const std::vector<std::string> strings = GenerateSurveyDataset("src", 2000, 3);
+  const std::vector<std::string_view> views(strings.begin(), strings.end());
+  auto a = RePairCodec::Train(12, views);
+  auto b = RePairCodec::Train(12, views);
+  ASSERT_EQ(a->num_rules(), b->num_rules());
+  BitWriter wa, wb;
+  for (const std::string& s : strings) {
+    a->Encode(s, &wa);
+    b->Encode(s, &wb);
+  }
+  EXPECT_EQ(wa.bytes(), wb.bytes());
+}
+
+TEST(RePairProperty, EncodeNeverExpandsBeyondOneSymbolPerChar) {
+  Rng rng(4);
+  const std::vector<std::string> strings = GenerateSurveyDataset("rand2", 500, 5);
+  const std::vector<std::string_view> views(strings.begin(), strings.end());
+  for (int bits : {12, 16}) {
+    auto codec = RePairCodec::Train(bits, views);
+    for (const std::string& s : strings) {
+      BitWriter sink;
+      const uint64_t encoded_bits = codec->Encode(s, &sink);
+      EXPECT_LE(encoded_bits, s.size() * static_cast<uint64_t>(bits));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Feedback controller convergence.
+// ---------------------------------------------------------------------------
+
+TEST(ControllerProperty, ConvergesToClampUnderConstantPressure) {
+  TradeoffController controller;
+  for (int i = 0; i < 500; ++i) controller.Observe(0, 100);
+  EXPECT_DOUBLE_EQ(controller.c(), TradeoffController::Options{}.min_c);
+  for (int i = 0; i < 1000; ++i) controller.Observe(100, 100);
+  EXPECT_DOUBLE_EQ(controller.c(), TradeoffController::Options{}.max_c);
+}
+
+TEST(ControllerProperty, OscillatingLoadKeepsCBounded) {
+  TradeoffController controller;
+  Rng rng(6);
+  for (int i = 0; i < 2000; ++i) {
+    controller.Observe(rng.Uniform(100), 100);
+    ASSERT_GE(controller.c(), TradeoffController::Options{}.min_c);
+    ASSERT_LE(controller.c(), TradeoffController::Options{}.max_c);
+    ASSERT_GE(controller.smoothed_free_fraction(), 0.0);
+    ASSERT_LE(controller.smoothed_free_fraction(), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace adict

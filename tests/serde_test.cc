@@ -1,0 +1,110 @@
+// Tests for the binary serialization primitives.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/serde.h"
+
+namespace adict {
+namespace {
+
+TEST(Serde, PodRoundtrip) {
+  std::vector<uint8_t> buffer;
+  ByteWriter writer(&buffer);
+  writer.Write<uint8_t>(0xab);
+  writer.Write<uint16_t>(0x1234);
+  writer.Write<uint32_t>(0xdeadbeef);
+  writer.Write<uint64_t>(0x0123456789abcdefull);
+  writer.Write<int32_t>(-42);
+  writer.Write<double>(3.25);
+
+  ByteReader reader(buffer.data(), buffer.size());
+  EXPECT_EQ(reader.Read<uint8_t>(), 0xab);
+  EXPECT_EQ(reader.Read<uint16_t>(), 0x1234);
+  EXPECT_EQ(reader.Read<uint32_t>(), 0xdeadbeefu);
+  EXPECT_EQ(reader.Read<uint64_t>(), 0x0123456789abcdefull);
+  EXPECT_EQ(reader.Read<int32_t>(), -42);
+  EXPECT_DOUBLE_EQ(reader.Read<double>(), 3.25);
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(Serde, VectorRoundtrip) {
+  std::vector<uint8_t> buffer;
+  ByteWriter writer(&buffer);
+  const std::vector<uint32_t> values = {1, 2, 3, 0xffffffff};
+  writer.WriteVector(values);
+  writer.WriteVector(std::vector<uint8_t>{});
+
+  ByteReader reader(buffer.data(), buffer.size());
+  EXPECT_EQ(reader.ReadVector<uint32_t>(), values);
+  EXPECT_TRUE(reader.ReadVector<uint8_t>().empty());
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(Serde, StringRoundtripWithEmbeddedNuls) {
+  std::vector<uint8_t> buffer;
+  ByteWriter writer(&buffer);
+  const std::string s("a\0b\0c", 5);
+  writer.WriteString(s);
+  writer.WriteString("");
+
+  ByteReader reader(buffer.data(), buffer.size());
+  EXPECT_EQ(reader.ReadString(), s);
+  EXPECT_EQ(reader.ReadString(), "");
+}
+
+TEST(Serde, TruncatedReadAborts) {
+  std::vector<uint8_t> buffer;
+  ByteWriter writer(&buffer);
+  writer.Write<uint32_t>(7);
+  ByteReader reader(buffer.data(), 2);  // cut short
+  EXPECT_DEATH(reader.Read<uint32_t>(), "truncated");
+}
+
+TEST(Serde, TruncatedVectorAborts) {
+  std::vector<uint8_t> buffer;
+  ByteWriter writer(&buffer);
+  writer.Write<uint64_t>(1000);  // claims 1000 elements, provides none
+  ByteReader reader(buffer.data(), buffer.size());
+  EXPECT_DEATH(reader.ReadVector<uint32_t>(), "truncated");
+}
+
+TEST(Serde, RandomizedMixedRoundtrip) {
+  Rng rng(9);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<uint8_t> buffer;
+    ByteWriter writer(&buffer);
+    std::vector<bool> is_pod;
+    std::vector<uint64_t> pods;
+    std::vector<std::vector<uint16_t>> vectors;
+    for (int i = 0; i < 50; ++i) {
+      if (rng.NextDouble() < 0.5) {
+        is_pod.push_back(true);
+        pods.push_back(rng.Next());
+        vectors.emplace_back();
+        writer.Write<uint64_t>(pods.back());
+      } else {
+        is_pod.push_back(false);
+        pods.push_back(0);
+        std::vector<uint16_t> v(rng.Uniform(20));
+        for (auto& x : v) x = static_cast<uint16_t>(rng.Next());
+        writer.WriteVector(v);
+        vectors.push_back(std::move(v));
+      }
+    }
+    ByteReader reader(buffer.data(), buffer.size());
+    for (size_t i = 0; i < is_pod.size(); ++i) {
+      if (is_pod[i]) {
+        ASSERT_EQ(reader.Read<uint64_t>(), pods[i]);
+      } else {
+        ASSERT_EQ(reader.ReadVector<uint16_t>(), vectors[i]);
+      }
+    }
+    ASSERT_TRUE(reader.exhausted());
+  }
+}
+
+}  // namespace
+}  // namespace adict

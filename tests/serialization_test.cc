@@ -1,0 +1,129 @@
+// Tests for dictionary and column persistence.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "datasets/generators.h"
+#include "dict/serialization.h"
+#include "store/string_column.h"
+#include "util/rng.h"
+
+namespace adict {
+namespace {
+
+class SerializationFormatTest : public ::testing::TestWithParam<DictFormat> {};
+
+TEST_P(SerializationFormatTest, RoundtripPreservesEverything) {
+  const std::vector<std::string> sorted = GenerateSurveyDataset("mat", 1500, 1);
+  auto original = BuildDictionary(GetParam(), sorted);
+
+  std::vector<uint8_t> buffer;
+  SaveDictionary(*original, &buffer);
+  auto loaded = LoadDictionary(buffer);
+  ASSERT_NE(loaded, nullptr);
+
+  EXPECT_EQ(loaded->format(), original->format());
+  ASSERT_EQ(loaded->size(), original->size());
+  for (uint32_t id = 0; id < loaded->size(); ++id) {
+    ASSERT_EQ(loaded->Extract(id), sorted[id]);
+  }
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    const std::string& probe = sorted[rng.Uniform(sorted.size())];
+    EXPECT_EQ(loaded->Locate(probe), original->Locate(probe));
+  }
+  EXPECT_EQ(loaded->Locate("~~~miss~~~"), original->Locate("~~~miss~~~"));
+  // The reconstructed footprint matches the original (same payloads).
+  EXPECT_EQ(loaded->MemoryBytes(), original->MemoryBytes());
+}
+
+TEST_P(SerializationFormatTest, RedundantTextRoundtrip) {
+  // Exercises the codec table serialization (grammars, trees, n-grams).
+  const std::vector<std::string> sorted = GenerateSurveyDataset("src", 1200, 3);
+  auto original = BuildDictionary(GetParam(), sorted);
+  std::vector<uint8_t> buffer;
+  SaveDictionary(*original, &buffer);
+  auto loaded = LoadDictionary(buffer);
+  for (uint32_t id = 0; id < loaded->size(); id += 7) {
+    ASSERT_EQ(loaded->Extract(id), sorted[id]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFormats, SerializationFormatTest,
+    ::testing::ValuesIn(AllDictFormats().begin(), AllDictFormats().end()),
+    [](const ::testing::TestParamInfo<DictFormat>& info) {
+      std::string name(DictFormatName(info.param));
+      std::replace(name.begin(), name.end(), ' ', '_');
+      return name;
+    });
+
+TEST(Serialization, SerializedFormIsCompact) {
+  // The on-disk form must be close to the in-memory footprint (no
+  // re-encoded or duplicated payloads).
+  const std::vector<std::string> sorted = GenerateSurveyDataset("url", 5000, 4);
+  auto dict = BuildDictionary(DictFormat::kFcBlockRp12, sorted);
+  std::vector<uint8_t> buffer;
+  SaveDictionary(*dict, &buffer);
+  EXPECT_LT(buffer.size(), dict->MemoryBytes() * 5 / 4);
+}
+
+TEST(Serialization, FileRoundtrip) {
+  const std::vector<std::string> sorted = {"alpha", "beta", "gamma"};
+  auto dict = BuildDictionary(DictFormat::kFcBlock, sorted);
+  const std::string path = ::testing::TempDir() + "/adict_dict.bin";
+  ASSERT_TRUE(SaveDictionaryToFile(*dict, path));
+  auto loaded = LoadDictionaryFromFile(path);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(loaded->Extract(1), "beta");
+  std::remove(path.c_str());
+}
+
+TEST(Serialization, MissingFileReturnsNull) {
+  EXPECT_EQ(LoadDictionaryFromFile("/nonexistent/adict.bin"), nullptr);
+}
+
+TEST(Serialization, CorruptMagicAborts) {
+  const std::vector<std::string> sorted = {"a", "b"};
+  auto dict = BuildDictionary(DictFormat::kArray, sorted);
+  std::vector<uint8_t> buffer;
+  SaveDictionary(*dict, &buffer);
+  buffer[0] ^= 0xff;
+  EXPECT_DEATH(LoadDictionary(buffer), "bad dictionary magic");
+}
+
+TEST(Serialization, TruncatedBufferAborts) {
+  const std::vector<std::string> sorted = GenerateSurveyDataset("engl", 200, 5);
+  auto dict = BuildDictionary(DictFormat::kArrayHu, sorted);
+  std::vector<uint8_t> buffer;
+  SaveDictionary(*dict, &buffer);
+  buffer.resize(buffer.size() / 2);
+  EXPECT_DEATH(LoadDictionary(buffer), "truncated");
+}
+
+TEST(StringColumnSerialization, RoundtripKeepsRowsAndFormat) {
+  std::vector<std::string> values;
+  Rng rng(6);
+  const std::vector<std::string> pool = GenerateSurveyDataset("url", 300, 7);
+  for (int i = 0; i < 5000; ++i) values.push_back(pool[rng.Uniform(pool.size())]);
+  const StringColumn column =
+      StringColumn::FromValues(values, DictFormat::kFcBlockBc);
+
+  std::vector<uint8_t> buffer;
+  ByteWriter writer(&buffer);
+  column.Serialize(&writer);
+
+  ByteReader reader(buffer.data(), buffer.size());
+  const StringColumn loaded = StringColumn::Deserialize(&reader);
+  EXPECT_TRUE(reader.exhausted());
+  EXPECT_EQ(loaded.format(), DictFormat::kFcBlockBc);
+  ASSERT_EQ(loaded.num_rows(), values.size());
+  for (size_t row = 0; row < values.size(); row += 17) {
+    ASSERT_EQ(loaded.GetValue(row), values[row]);
+  }
+}
+
+}  // namespace
+}  // namespace adict

@@ -1,0 +1,118 @@
+// Edge-case tests for the prediction framework: tiny dictionaries, skewed
+// content, and the consistency of predictions with the actual builders.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/properties.h"
+#include "core/tradeoff.h"
+#include "core/size_model.h"
+#include "datasets/generators.h"
+#include "dict/dictionary.h"
+
+namespace adict {
+namespace {
+
+double ErrorFor(DictFormat format, const std::vector<std::string>& sorted,
+                const SamplingConfig& config) {
+  const DictionaryProperties props = SampleProperties(sorted, config);
+  auto dict = BuildDictionary(format, sorted);
+  return PredictionError(static_cast<double>(dict->MemoryBytes()),
+                         PredictDictionarySize(format, props));
+}
+
+TEST(SizeModelEdge, TinyDictionaryExactFormats) {
+  // The exact-by-construction models must be near-perfect even for a
+  // five-entry dictionary.
+  const std::vector<std::string> sorted = {"AUTOMOBILE", "BUILDING",
+                                           "FURNITURE", "HOUSEHOLD",
+                                           "MACHINERY"};
+  for (DictFormat format :
+       {DictFormat::kArray, DictFormat::kArrayFixed, DictFormat::kFcBlock,
+        DictFormat::kFcBlockDf, DictFormat::kFcInline}) {
+    EXPECT_LT(ErrorFor(format, sorted, SamplingConfig::Exact()), 0.02)
+        << DictFormatName(format);
+  }
+}
+
+TEST(SizeModelEdge, SingleEntryDictionary) {
+  const std::vector<std::string> sorted = {"lonely"};
+  for (DictFormat format : AllDictFormats()) {
+    const DictionaryProperties props =
+        SampleProperties(sorted, SamplingConfig::Exact());
+    const double predicted = PredictDictionarySize(format, props);
+    EXPECT_GT(predicted, 0) << DictFormatName(format);
+    // Codec tables bound the error for tiny inputs; just require the
+    // prediction to be within a small absolute budget.
+    auto dict = BuildDictionary(format, sorted);
+    EXPECT_LT(std::abs(predicted - static_cast<double>(dict->MemoryBytes())),
+              4096.0)
+        << DictFormatName(format);
+  }
+}
+
+TEST(SizeModelEdge, LongSharedPrefixColumn) {
+  // All entries share a 200-char prefix: fc models must see the savings.
+  std::vector<std::string> sorted;
+  const std::string prefix(200, 'p');
+  for (int i = 100; i < 400; ++i) sorted.push_back(prefix + std::to_string(i));
+  const DictionaryProperties props =
+      SampleProperties(sorted, SamplingConfig::Exact());
+  EXPECT_LT(props.fc_raw_chars, 0.2 * props.raw_chars);
+  EXPECT_LT(PredictDictionarySize(DictFormat::kFcBlock, props),
+            PredictDictionarySize(DictFormat::kArray, props) / 2);
+  // And the prediction still matches the real builder.
+  EXPECT_LT(ErrorFor(DictFormat::kFcBlock, sorted, SamplingConfig::Exact()),
+            0.05);
+}
+
+TEST(SizeModelEdge, BinaryAlphabetUsesOneBit) {
+  std::vector<std::string> sorted;
+  for (int i = 0; i < 256; ++i) {
+    std::string s;
+    for (int b = 7; b >= 0; --b) s.push_back((i >> b) & 1 ? 'b' : 'a');
+    sorted.push_back(std::move(s));
+  }
+  const DictionaryProperties props =
+      SampleProperties(sorted, SamplingConfig::Exact());
+  EXPECT_EQ(props.distinct_chars, 2);
+  EXPECT_NEAR(props.entropy0, 1.0, 1e-9);
+  // bc should predict raw/8 plus overheads.
+  const double predicted = PredictDictionarySize(DictFormat::kArrayBc, props);
+  const double data_part = 256 * 8 / 8.0;  // one bit per char
+  EXPECT_NEAR(predicted, data_part + 4.0 * 257 + 768.0 + 80.0, 100.0);
+  EXPECT_LT(ErrorFor(DictFormat::kArrayBc, sorted, SamplingConfig::Exact()),
+            0.02);
+}
+
+TEST(SizeModelEdge, SamplingSmallerThanFloorIsExact) {
+  // If the dictionary has fewer entries than the floor, sampling degrades
+  // to exact measurement.
+  const std::vector<std::string> sorted = GenerateSurveyDataset("engl", 800, 1);
+  const DictionaryProperties exact =
+      SampleProperties(sorted, SamplingConfig::Exact());
+  const DictionaryProperties floored =
+      SampleProperties(sorted, SamplingConfig::Default());  // floor 5000 > 800
+  EXPECT_DOUBLE_EQ(floored.sampled_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(floored.raw_chars, exact.raw_chars);
+  EXPECT_EQ(floored.distinct_chars, exact.distinct_chars);
+}
+
+TEST(SizeModelEdge, ColumnVectorSizeShiftsAllCandidatesEqually) {
+  const std::vector<std::string> sorted = GenerateSurveyDataset("mat", 1000, 2);
+  const DictionaryProperties props =
+      SampleProperties(sorted, SamplingConfig::Exact());
+  ColumnUsage small_vec, big_vec;
+  small_vec.column_vector_bytes = 0;
+  big_vec.column_vector_bytes = 1 << 20;
+  const CostModel costs = CostModel::Default();
+  const auto a = EvaluateCandidates(props, small_vec, costs);
+  const auto b = EvaluateCandidates(props, big_vec, costs);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(b[i].size_bytes - a[i].size_bytes, 1 << 20);
+  }
+}
+
+}  // namespace
+}  // namespace adict
