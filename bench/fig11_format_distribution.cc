@@ -62,6 +62,7 @@ int main() {
   std::printf(
       "\nExpected shape: largest format diversity at small c; heavy\n"
       "compressors (rp, column bc) fade as c grows; the largest c hands\n"
-      "every column to the fastest format.\n");
+      "every column to the fastest format.\n\n");
+  bench::ReportObservability(stdout, /*max_decisions=*/8);
   return 0;
 }

@@ -27,7 +27,7 @@ foreach(bench_source ${ADICT_BENCH_SOURCES})
   target_include_directories(${bench_name} PRIVATE ${CMAKE_SOURCE_DIR})
   target_link_libraries(${bench_name}
     adict_tpch adict_engine adict_store adict_core adict_dict
-    adict_datasets adict_text adict_util
+    adict_datasets adict_text adict_obs adict_util
     benchmark::benchmark)
   set_target_properties(${bench_name} PROPERTIES
     RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

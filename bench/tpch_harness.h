@@ -5,11 +5,14 @@
 #define ADICT_BENCH_TPCH_HARNESS_H_
 
 #include <algorithm>
+#include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench/survey_harness.h"
 #include "core/compression_manager.h"
+#include "obs/export.h"
+#include "obs/obs.h"
 #include "tpch/dbgen.h"
 #include "tpch/queries.h"
 #include "util/stopwatch.h"
@@ -53,27 +56,47 @@ inline std::vector<TracedColumn> TraceTpchWorkload(TpchDatabase* db,
 }
 
 /// Per-column format selection for one value of the global parameter c.
+/// Each selection is logged to obs::Decisions() under the column's name.
 inline std::vector<DictFormat> SelectConfiguration(
     const std::vector<TracedColumn>& traced, const CompressionManager& manager,
     double c) {
   std::vector<DictFormat> formats;
   formats.reserve(traced.size());
   for (const TracedColumn& column : traced) {
+    const DictionaryProperties props =
+        SampleProperties(column.dict_values, manager.options().sampling);
     const std::vector<Candidate> candidates =
-        manager.Evaluate(column.dict_values, column.usage);
-    formats.push_back(
-        SelectFormat(candidates, c, manager.options().strategy));
+        EvaluateCandidates(props, column.usage, manager.cost_model());
+    const SelectionDetails details =
+        SelectFormatDetailed(candidates, c, manager.options().strategy);
+    LogFormatDecision(column.name, props, column.usage, candidates, details,
+                      c, manager.options().strategy);
+    formats.push_back(details.selected);
   }
   return formats;
 }
 
-/// Rebuilds the traced columns' dictionaries in the given formats.
+/// Rebuilds the traced columns' dictionaries in the given formats and
+/// records each rebuilt dictionary's actual size against its logged
+/// prediction.
 inline void ApplyConfiguration(const std::vector<TracedColumn>& traced,
                                const std::vector<DictFormat>& formats) {
   for (size_t i = 0; i < traced.size(); ++i) {
-    traced[i].table->string_columns()[traced[i].column_index].ChangeFormat(
-        formats[i]);
+    StringColumn& column =
+        traced[i].table->string_columns()[traced[i].column_index];
+    column.ChangeFormat(formats[i]);
+    obs::Decisions().RecordActualForColumn(
+        traced[i].name, static_cast<double>(column.DictionaryBytes()));
   }
+}
+
+/// Dumps the metrics registry and the tail of the decision log to `out`
+/// (benchmarks call this after the run to make the telemetry inspectable).
+inline void ReportObservability(std::FILE* out,
+                                size_t max_decisions = 24) {
+  std::fputs(obs::MetricsToText(obs::Metrics()).c_str(), out);
+  std::fputs(obs::DecisionLogToText(obs::Decisions(), max_decisions).c_str(),
+             out);
 }
 
 /// Sum over the 22 queries of the median runtime of `reps` executions

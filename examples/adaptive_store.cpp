@@ -13,6 +13,8 @@
 
 #include "core/compression_manager.h"
 #include "datasets/generators.h"
+#include "obs/export.h"
+#include "obs/obs.h"
 #include "store/delta.h"
 #include "store/string_column.h"
 #include "util/rng.h"
@@ -97,7 +99,8 @@ int main() {
     //    full tick gives the per-lifetime usage).
     for (ManagedColumn& col : columns) {
       StringColumn merged = MergeDeltaAdaptive(
-          col.column, col.delta, manager, /*lifetime_seconds=*/60.0);
+          col.column, col.delta, manager, /*lifetime_seconds=*/60.0,
+          col.name);
       col.column = std::move(merged);
       col.delta = DeltaColumn();
     }
@@ -119,5 +122,14 @@ int main() {
                 col.column.num_distinct(),
                 std::string(DictFormatName(col.column.format())).c_str());
   }
+
+  // The observability layer saw every decision and rebuild: per merged
+  // column the chosen format, predicted vs actual dictionary bytes, the
+  // relative prediction error, and c at decision time — plus the global
+  // metric counters/timers behind the run (docs/observability.md).
+  std::printf("\n--- observability report ---\n");
+  std::printf("%s", obs::DecisionLogToText(obs::Decisions(),
+                                           /*max_entries=*/9).c_str());
+  std::printf("%s", obs::MetricsToText(obs::Metrics()).c_str());
   return 0;
 }

@@ -1,0 +1,108 @@
+#include "core/compression_manager.h"
+
+#include <string>
+
+#include "obs/obs.h"
+
+namespace adict {
+namespace {
+
+// Format names with spaces flattened for metric names, e.g. "array rp 12"
+// -> "manager.chosen.array_rp_12".
+std::string ChosenMetricName(DictFormat format) {
+  std::string name = "manager.chosen.";
+  for (char ch : DictFormatName(format)) {
+    name.push_back(ch == ' ' ? '_' : ch);
+  }
+  return name;
+}
+
+}  // namespace
+
+uint64_t LogFormatDecision(std::string_view column_id,
+                           const DictionaryProperties& props,
+                           const ColumnUsage& usage,
+                           std::span<const Candidate> candidates,
+                           const SelectionDetails& details, double c,
+                           TradeoffStrategy strategy) {
+  if (!obs::Enabled()) return 0;
+
+  obs::DecisionRecord record;
+  record.column_id = std::string(column_id);
+  record.num_strings = props.num_strings;
+  record.raw_chars = props.raw_chars;
+  record.entropy0 = props.entropy0;
+  record.sampled_fraction = props.sampled_fraction;
+  record.num_extracts = usage.num_extracts;
+  record.num_locates = usage.num_locates;
+  record.lifetime_seconds = usage.lifetime_seconds;
+  record.column_vector_bytes = usage.column_vector_bytes;
+  record.candidates.reserve(candidates.size());
+  for (const Candidate& candidate : candidates) {
+    record.candidates.push_back(
+        {static_cast<int>(candidate.format),
+         std::string(DictFormatName(candidate.format)), candidate.size_bytes,
+         candidate.rel_time});
+    if (candidate.format == details.selected) {
+      // The candidate's size axis includes the column vector; the built
+      // dictionary does not.
+      record.predicted_dict_bytes =
+          candidate.size_bytes -
+          static_cast<double>(usage.column_vector_bytes);
+    }
+  }
+  record.chosen_format_id = static_cast<int>(details.selected);
+  record.chosen_format_name = std::string(DictFormatName(details.selected));
+  record.c = c;
+  record.strategy = std::string(TradeoffStrategyName(strategy));
+  record.alpha = details.alpha;
+
+  static obs::Counter* decisions = obs::Metrics().GetCounter(
+      "manager.decisions", "calls", "format decisions made");
+  decisions->Increment();
+  static obs::Gauge* c_gauge = obs::Metrics().GetGauge(
+      "manager.c", "", "trade-off parameter c at the last decision");
+  c_gauge->Set(c);
+  obs::Metrics()
+      .GetCounter(ChosenMetricName(details.selected), "decisions",
+                  "decisions that chose this format")
+      ->Increment();
+
+  return obs::Decisions().Push(std::move(record));
+}
+
+FormatDecision CompressionManager::ChooseFormatLogged(
+    std::span<const std::string> sorted_unique, const ColumnUsage& usage,
+    std::string_view column_id) const {
+  obs::ScopedTimer timer(
+      obs::Enabled() ? obs::Metrics().GetHistogram(
+                           "manager.choose_format_us", {}, "us",
+                           "sampling + model evaluation + selection")
+                     : nullptr);
+  const DictionaryProperties props =
+      SampleProperties(sorted_unique, options_.sampling);
+  const std::vector<Candidate> candidates =
+      EvaluateCandidates(props, usage, cost_model_);
+  const SelectionDetails details =
+      SelectFormatDetailed(candidates, controller_.c(), options_.strategy);
+  const uint64_t sequence =
+      LogFormatDecision(column_id, props, usage, candidates, details,
+                        controller_.c(), options_.strategy);
+  return {details.selected, sequence};
+}
+
+std::unique_ptr<Dictionary> CompressionManager::BuildAdaptiveDictionary(
+    std::span<const std::string> sorted_unique, const ColumnUsage& usage,
+    std::string_view column_id) const {
+  const FormatDecision decision =
+      ChooseFormatLogged(sorted_unique, usage, column_id);
+  std::unique_ptr<Dictionary> dict =
+      BuildDictionary(decision.format, sorted_unique);
+  if (decision.log_sequence != 0) {
+    obs::Decisions().RecordActual(decision.log_sequence,
+                                  static_cast<double>(dict->MemoryBytes()));
+  }
+  return dict;
+}
+
+}  // namespace adict

@@ -8,10 +8,17 @@
 //   - global: one trade-off parameter c, kept up to date by the feedback
 //     controller from memory pressure, picks the point on the space/time
 //     trade-off via the selection strategy.
+//
+// Every decision is recorded in the process-wide obs::Decisions() log (see
+// src/obs/): which column, every candidate's predicted point, the chosen
+// format, and c at decision time. When BuildAdaptiveDictionary builds the
+// chosen dictionary, the actual size is patched into the same record, so
+// size-model accuracy is accounted continuously (docs/observability.md).
 #ifndef ADICT_CORE_COMPRESSION_MANAGER_H_
 #define ADICT_CORE_COMPRESSION_MANAGER_H_
 
 #include <memory>
+#include <string_view>
 
 #include "core/controller.h"
 #include "core/cost_model.h"
@@ -20,6 +27,25 @@
 #include "dict/dictionary.h"
 
 namespace adict {
+
+/// A format choice plus the handle needed to report the built outcome back
+/// to the decision log.
+struct FormatDecision {
+  DictFormat format;
+  /// Sequence of the record in obs::Decisions(), or 0 if logging was off.
+  uint64_t log_sequence = 0;
+};
+
+/// Appends one record to obs::Decisions() from the raw decision inputs and
+/// outputs. Returns the record's sequence, or 0 when observability is
+/// disabled. Exposed for callers that run the selection pipeline manually
+/// with an explicit c (e.g. the TPC-H what-if harness).
+uint64_t LogFormatDecision(std::string_view column_id,
+                           const DictionaryProperties& props,
+                           const ColumnUsage& usage,
+                           std::span<const Candidate> candidates,
+                           const SelectionDetails& details, double c,
+                           TradeoffStrategy strategy);
 
 class CompressionManager {
  public:
@@ -36,22 +62,23 @@ class CompressionManager {
         controller_(options.controller) {}
 
   /// Chooses the dictionary format for a column that is about to be rebuilt
-  /// (e.g. at delta merge), based on its content and traced usage.
+  /// (e.g. at delta merge), based on its content and traced usage. The
+  /// decision is logged under `column_id` (may be empty).
+  FormatDecision ChooseFormatLogged(std::span<const std::string> sorted_unique,
+                                    const ColumnUsage& usage,
+                                    std::string_view column_id) const;
+
+  /// Same without a column identity, returning only the format.
   DictFormat ChooseFormat(std::span<const std::string> sorted_unique,
                           const ColumnUsage& usage) const {
-    const DictionaryProperties props =
-        SampleProperties(sorted_unique, options_.sampling);
-    const std::vector<Candidate> candidates =
-        EvaluateCandidates(props, usage, cost_model_);
-    return SelectFormat(candidates, controller_.c(), options_.strategy);
+    return ChooseFormatLogged(sorted_unique, usage, {}).format;
   }
 
-  /// Chooses and builds in one step.
+  /// Chooses and builds in one step; records the built dictionary's actual
+  /// size into the decision record.
   std::unique_ptr<Dictionary> BuildAdaptiveDictionary(
-      std::span<const std::string> sorted_unique,
-      const ColumnUsage& usage) const {
-    return BuildDictionary(ChooseFormat(sorted_unique, usage), sorted_unique);
-  }
+      std::span<const std::string> sorted_unique, const ColumnUsage& usage,
+      std::string_view column_id = {}) const;
 
   /// Exposes the candidate evaluation, e.g. for offline what-if analysis.
   std::vector<Candidate> Evaluate(std::span<const std::string> sorted_unique,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
 #include "util/check.h"
 
 namespace adict {
@@ -24,14 +25,37 @@ double TradeoffController::Observe(double free_bytes, double total_bytes) {
   }
 
   const double error = smoothed_free_fraction_ - options_.target_free_fraction;
+  const char* step = "hold";
   if (error < -options_.dead_band) {
     // Less free memory than desired: compress harder.
     c_ /= options_.adjust_factor;
+    step = "down";
   } else if (error > options_.dead_band) {
     // Head-room available: favor speed.
     c_ *= options_.adjust_factor;
+    step = "up";
   }
   c_ = std::clamp(c_, options_.min_c, options_.max_c);
+
+  if (obs::Enabled()) {
+    static obs::Counter* observations = obs::Metrics().GetCounter(
+        "controller.observations", "calls", "memory measurements fed in");
+    observations->Increment();
+    static obs::Counter* down = obs::Metrics().GetCounter(
+        "controller.step.down", "steps", "c lowered (memory pressure)");
+    static obs::Counter* up = obs::Metrics().GetCounter(
+        "controller.step.up", "steps", "c raised (head-room)");
+    static obs::Counter* hold = obs::Metrics().GetCounter(
+        "controller.step.hold", "steps", "c unchanged (inside dead band)");
+    (step[0] == 'd' ? down : step[0] == 'u' ? up : hold)->Increment();
+    static obs::Gauge* c_gauge = obs::Metrics().GetGauge(
+        "controller.c", "", "trade-off parameter c after the last Observe");
+    c_gauge->Set(c_);
+    static obs::Gauge* free_gauge = obs::Metrics().GetGauge(
+        "controller.smoothed_free_fraction", "",
+        "EMA-smoothed free-memory fraction");
+    free_gauge->Set(smoothed_free_fraction_);
+  }
   return c_;
 }
 

@@ -8,6 +8,7 @@
 
 #include "dict/column_bc.h"
 #include "dict/front_coding.h"
+#include "obs/obs.h"
 #include "text/codec.h"
 #include "text/ngram.h"
 #include "text/repair.h"
@@ -125,6 +126,12 @@ RePairResult RePairRate(const std::vector<std::string_view>& views,
 DictionaryProperties SampleProperties(std::span<const std::string> sorted_unique,
                                       const SamplingConfig& config,
                                       uint64_t seed) {
+  obs::ScopedTimer timer(
+      obs::Enabled()
+          ? obs::Metrics().GetHistogram(
+                "core.sample_properties_us", {}, "us",
+                "property sampling incl. the Re-Pair trial on the sample")
+          : nullptr);
   DictionaryProperties props;
   const uint64_t n = sorted_unique.size();
   props.num_strings = n;

@@ -5,6 +5,7 @@
 #include "dict/array_dict.h"
 #include "dict/column_bc.h"
 #include "dict/front_coding.h"
+#include "obs/obs.h"
 #include "util/check.h"
 
 namespace adict {
@@ -140,7 +141,9 @@ bool IsFrontCodingClass(DictFormat format) {
   }
 }
 
-std::unique_ptr<Dictionary> BuildDictionary(
+namespace {
+
+std::unique_ptr<Dictionary> BuildDictionaryImpl(
     DictFormat format, std::span<const std::string> sorted_unique) {
   switch (format) {
     case DictFormat::kArray:
@@ -170,6 +173,32 @@ std::unique_ptr<Dictionary> BuildDictionary(
   }
   ADICT_CHECK_MSG(false, "unknown dictionary format");
   return nullptr;
+}
+
+}  // namespace
+
+std::unique_ptr<Dictionary> BuildDictionary(
+    DictFormat format, std::span<const std::string> sorted_unique) {
+  if (!obs::Enabled()) return BuildDictionaryImpl(format, sorted_unique);
+
+  static obs::Counter* builds = obs::Metrics().GetCounter(
+      "dict.build.count", "builds", "dictionaries constructed");
+  static obs::Counter* strings = obs::Metrics().GetCounter(
+      "dict.build.strings", "strings", "entries across all builds");
+  static obs::Counter* bytes = obs::Metrics().GetCounter(
+      "dict.build.bytes", "bytes", "total footprint of built dictionaries");
+  static obs::Histogram* build_us = obs::Metrics().GetHistogram(
+      "dict.build.us", {}, "us", "per-dictionary construction time");
+
+  std::unique_ptr<Dictionary> dict;
+  {
+    obs::ScopedTimer timer(build_us);
+    dict = BuildDictionaryImpl(format, sorted_unique);
+  }
+  builds->Increment();
+  strings->Increment(sorted_unique.size());
+  bytes->Increment(dict->MemoryBytes());
+  return dict;
 }
 
 bool IsSortedUnique(std::span<const std::string> strings) {

@@ -5,6 +5,7 @@
 #include "dict/array_dict.h"
 #include "dict/column_bc.h"
 #include "dict/front_coding.h"
+#include "obs/obs.h"
 #include "util/check.h"
 
 namespace adict {
@@ -21,9 +22,19 @@ void SaveDictionary(const Dictionary& dict, std::vector<uint8_t>* out) {
   writer.Write<uint16_t>(kVersion);
   writer.Write<uint16_t>(static_cast<uint16_t>(dict.format()));
   dict.Serialize(&writer);
+  if (obs::Enabled()) {
+    static obs::Counter* saves = obs::Metrics().GetCounter(
+        "dict.save.count", "calls", "dictionaries serialized");
+    saves->Increment();
+  }
 }
 
 std::unique_ptr<Dictionary> LoadDictionary(ByteReader* in) {
+  if (obs::Enabled()) {
+    static obs::Counter* loads = obs::Metrics().GetCounter(
+        "dict.load.count", "calls", "dictionaries deserialized");
+    loads->Increment();
+  }
   ADICT_CHECK_MSG(in->Read<uint32_t>() == kMagic, "bad dictionary magic");
   ADICT_CHECK_MSG(in->Read<uint16_t>() == kVersion,
                   "unsupported dictionary version");

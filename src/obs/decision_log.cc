@@ -1,0 +1,93 @@
+#include "obs/decision_log.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace adict {
+namespace obs {
+
+DecisionLog::DecisionLog(size_t capacity) : capacity_(capacity) {
+  ADICT_CHECK(capacity_ > 0);
+}
+
+uint64_t DecisionLog::Push(DecisionRecord record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  record.sequence = next_sequence_++;
+  if (ring_.size() == capacity_) {
+    ring_.pop_front();
+    ++evicted_;
+  }
+  ring_.push_back(std::move(record));
+  return ring_.back().sequence;
+}
+
+bool DecisionLog::RecordActual(uint64_t sequence, double actual_dict_bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Sequences are dense and ascending: the record's position, if still in
+  // the ring, is its distance from the front entry's sequence.
+  if (ring_.empty() || sequence < ring_.front().sequence ||
+      sequence > ring_.back().sequence) {
+    return false;
+  }
+  DecisionRecord& record = ring_[sequence - ring_.front().sequence];
+  if (record.has_actual()) return false;
+  record.actual_dict_bytes = actual_dict_bytes;
+  const double error = record.prediction_error();
+  ++accuracy_.num_predictions;
+  accuracy_.sum_abs_rel_error += error;
+  accuracy_.max_abs_rel_error = std::max(accuracy_.max_abs_rel_error, error);
+  if (error <= 0.08) ++accuracy_.within_8pct;
+  return true;
+}
+
+bool DecisionLog::RecordActualForColumn(std::string_view column_id,
+                                        double actual_dict_bytes) {
+  uint64_t sequence = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = ring_.rbegin(); it != ring_.rend(); ++it) {
+      if (it->column_id == column_id && !it->has_actual()) {
+        sequence = it->sequence;
+        break;
+      }
+    }
+  }
+  return sequence != 0 && RecordActual(sequence, actual_dict_bytes);
+}
+
+std::vector<DecisionRecord> DecisionLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {ring_.begin(), ring_.end()};
+}
+
+PredictionAccuracy DecisionLog::accuracy() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return accuracy_;
+}
+
+size_t DecisionLog::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.size();
+}
+
+uint64_t DecisionLog::total_pushed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_sequence_ - 1;
+}
+
+uint64_t DecisionLog::evicted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evicted_;
+}
+
+void DecisionLog::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  next_sequence_ = 1;
+  evicted_ = 0;
+  accuracy_ = PredictionAccuracy{};
+}
+
+}  // namespace obs
+}  // namespace adict

@@ -1,0 +1,42 @@
+// Renders metrics and decision logs as human-readable text or JSON.
+//
+// The text forms are what the examples and benchmarks print; the JSON forms
+// are line-oriented machine food (one object for metrics, one array for the
+// decision log) for scraping into external dashboards.
+#ifndef ADICT_OBS_EXPORT_H_
+#define ADICT_OBS_EXPORT_H_
+
+#include <cstddef>
+#include <limits>
+#include <string>
+
+#include "obs/decision_log.h"
+#include "obs/metrics.h"
+
+namespace adict {
+namespace obs {
+
+/// Aligned name/type/value table, histograms with count/mean and the
+/// occupied buckets.
+std::string MetricsToText(const MetricsRegistry& registry);
+
+/// {"metrics":[{"name":...,"type":...,"unit":...,"value"|"count"...}, ...]}
+std::string MetricsToJson(const MetricsRegistry& registry);
+
+/// One block per decision, newest last: column, chosen format, predicted vs
+/// actual dictionary bytes, relative error, c, strategy. At most
+/// `max_entries` newest entries, then the cumulative accuracy summary.
+std::string DecisionLogToText(
+    const DecisionLog& log,
+    size_t max_entries = std::numeric_limits<size_t>::max());
+
+/// {"decisions":[...],"accuracy":{...}} with the full candidate lists.
+std::string DecisionLogToJson(const DecisionLog& log);
+
+/// One line: N predictions, mean/max relative error, within-8% fraction.
+std::string PredictionAccuracyToText(const PredictionAccuracy& accuracy);
+
+}  // namespace obs
+}  // namespace adict
+
+#endif  // ADICT_OBS_EXPORT_H_

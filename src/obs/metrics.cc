@@ -1,0 +1,146 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <array>
+
+#include "util/check.h"
+
+namespace adict {
+namespace obs {
+
+Histogram::Histogram(std::span<const double> bounds)
+    : bounds_(bounds.begin(), bounds.end()),
+      buckets_(new std::atomic<uint64_t>[bounds.size() + 1]) {
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    ADICT_CHECK_MSG(bounds_[i - 1] < bounds_[i],
+                    "histogram bounds must be strictly ascending");
+  }
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::Observe(double value) {
+  // lower_bound makes the bounds inclusive: bucket i counts <= bounds[i].
+  const size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin();
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // fetch_add on atomic<double> is C++20 but not yet universal; CAS instead.
+  double sum = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(sum, sum + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<uint64_t> Histogram::bucket_counts() const {
+  std::vector<uint64_t> counts(bounds_.size() + 1);
+  for (size_t i = 0; i < counts.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+std::span<const double> DefaultLatencyBucketsUs() {
+  static constexpr std::array<double, 19> kBounds = {
+      1,    2,    5,    10,   20,   50,   100,  200,  500, 1e3,
+      2e3,  5e3,  1e4,  2e4,  5e4,  1e5,  2e5,  5e5,  1e6};
+  return kBounds;
+}
+
+std::string_view MetricTypeName(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+MetricsRegistry::Entry* MetricsRegistry::GetOrCreate(
+    std::string_view name, MetricType type, std::string_view unit,
+    std::string_view help, std::span<const double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    ADICT_CHECK_MSG(it->second.type == type,
+                    "metric re-registered with a different type");
+    return &it->second;
+  }
+  Entry entry;
+  entry.name = std::string(name);
+  entry.unit = std::string(unit);
+  entry.help = std::string(help);
+  entry.type = type;
+  switch (type) {
+    case MetricType::kCounter:
+      entry.counter = std::make_unique<Counter>();
+      break;
+    case MetricType::kGauge:
+      entry.gauge = std::make_unique<Gauge>();
+      break;
+    case MetricType::kHistogram:
+      entry.histogram = std::make_unique<Histogram>(
+          bounds.empty() ? DefaultLatencyBucketsUs() : bounds);
+      break;
+  }
+  return &entries_.emplace(entry.name, std::move(entry)).first->second;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name,
+                                     std::string_view unit,
+                                     std::string_view help) {
+  return GetOrCreate(name, MetricType::kCounter, unit, help, {})
+      ->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name, std::string_view unit,
+                                 std::string_view help) {
+  return GetOrCreate(name, MetricType::kGauge, unit, help, {})->gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::span<const double> bounds,
+                                         std::string_view unit,
+                                         std::string_view help) {
+  return GetOrCreate(name, MetricType::kHistogram, unit, help, bounds)
+      ->histogram.get();
+}
+
+std::vector<const MetricsRegistry::Entry*> MetricsRegistry::Entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<const Entry*> entries;
+  entries.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) entries.push_back(&entry);
+  return entries;  // std::map iterates in name order
+}
+
+void MetricsRegistry::ResetValues() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, entry] : entries_) {
+    switch (entry.type) {
+      case MetricType::kCounter:
+        entry.counter->Reset();
+        break;
+      case MetricType::kGauge:
+        entry.gauge->Reset();
+        break;
+      case MetricType::kHistogram:
+        entry.histogram->Reset();
+        break;
+    }
+  }
+}
+
+}  // namespace obs
+}  // namespace adict

@@ -1,0 +1,34 @@
+#include "obs/obs.h"
+
+#include <atomic>
+
+namespace adict {
+namespace obs {
+
+namespace {
+std::atomic<bool> g_enabled{true};
+}  // namespace
+
+MetricsRegistry& Metrics() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+DecisionLog& Decisions() {
+  static DecisionLog* log = new DecisionLog();
+  return *log;
+}
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void SetEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void ResetForTest() {
+  Metrics().ResetValues();
+  Decisions().Clear();
+}
+
+}  // namespace obs
+}  // namespace adict

@@ -1,0 +1,44 @@
+// Process-wide observability context: one metrics registry and one decision
+// log shared by every instrumented component.
+//
+// Instrumentation sites follow one pattern:
+//
+//   if (obs::Enabled()) {
+//     static obs::Counter* counter =
+//         obs::Metrics().GetCounter("dict.extract.count", "calls", "...");
+//     counter->Increment();
+//   }
+//
+// The function-local static resolves the metric once (registry mutex taken
+// exactly once per site); afterwards the cost is one relaxed load of the
+// enabled flag plus one relaxed increment. SetEnabled(false) turns every
+// site into a single branch. Tests reset values with ResetForTest(), which
+// keeps registrations (and thus cached pointers) intact.
+#ifndef ADICT_OBS_OBS_H_
+#define ADICT_OBS_OBS_H_
+
+#include "obs/decision_log.h"
+#include "obs/metrics.h"
+
+namespace adict {
+namespace obs {
+
+/// The process-wide metrics registry. Never destroyed.
+MetricsRegistry& Metrics();
+
+/// The process-wide decision log. Never destroyed.
+DecisionLog& Decisions();
+
+/// Global on/off switch, default on. Disabling skips metric recording and
+/// decision logging at every built-in instrumentation site.
+bool Enabled();
+void SetEnabled(bool enabled);
+
+/// Zeroes all metric values and clears the decision log without
+/// invalidating metric pointers cached at instrumentation sites.
+void ResetForTest();
+
+}  // namespace obs
+}  // namespace adict
+
+#endif  // ADICT_OBS_OBS_H_

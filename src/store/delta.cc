@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
+
 namespace adict {
 
 size_t DeltaColumn::MemoryBytes() const {
@@ -53,19 +55,57 @@ DomainEncoded MergeEncode(const StringColumn& main, const DeltaColumn& delta) {
 
 }  // namespace
 
+namespace {
+
+// Shared merge telemetry; the timer is started by the caller so that the
+// format decision (adaptive path) is included in the merge latency.
+void CountMerge(const StringColumn& main, const DeltaColumn& delta) {
+  if (!obs::Enabled()) return;
+  static obs::Counter* merges = obs::Metrics().GetCounter(
+      "store.merge.count", "merges", "delta merges performed");
+  static obs::Counter* rows = obs::Metrics().GetCounter(
+      "store.merge.rows", "rows", "rows in merged columns (main + delta)");
+  static obs::Counter* delta_rows = obs::Metrics().GetCounter(
+      "store.merge.delta_rows", "rows", "delta rows folded into the main");
+  merges->Increment();
+  rows->Increment(main.num_rows() + delta.num_rows());
+  delta_rows->Increment(delta.num_rows());
+}
+
+obs::Histogram* MergeTimerHistogram() {
+  return obs::Enabled()
+             ? obs::Metrics().GetHistogram("store.merge.us", {}, "us",
+                                           "delta merge latency incl. "
+                                           "dictionary rebuild")
+             : nullptr;
+}
+
+}  // namespace
+
 StringColumn MergeDelta(const StringColumn& main, const DeltaColumn& delta,
                         DictFormat format) {
+  obs::ScopedTimer timer(MergeTimerHistogram());
+  CountMerge(main, delta);
   return StringColumn::FromEncoded(MergeEncode(main, delta), format);
 }
 
 StringColumn MergeDeltaAdaptive(const StringColumn& main,
                                 const DeltaColumn& delta,
                                 const CompressionManager& manager,
-                                double lifetime_seconds) {
+                                double lifetime_seconds,
+                                std::string_view column_id) {
+  obs::ScopedTimer timer(MergeTimerHistogram());
+  CountMerge(main, delta);
   DomainEncoded encoded = MergeEncode(main, delta);
-  const DictFormat format = manager.ChooseFormat(
-      encoded.dictionary, main.TracedUsage(lifetime_seconds));
-  return StringColumn::FromEncoded(std::move(encoded), format);
+  const FormatDecision decision = manager.ChooseFormatLogged(
+      encoded.dictionary, main.TracedUsage(lifetime_seconds), column_id);
+  StringColumn merged =
+      StringColumn::FromEncoded(std::move(encoded), decision.format);
+  if (decision.log_sequence != 0) {
+    obs::Decisions().RecordActual(
+        decision.log_sequence, static_cast<double>(merged.DictionaryBytes()));
+  }
+  return merged;
 }
 
 }  // namespace adict

@@ -6,6 +6,7 @@
 #define ADICT_STORE_DELTA_H_
 
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -51,11 +52,14 @@ StringColumn MergeDelta(const StringColumn& main, const DeltaColumn& delta,
                         DictFormat format);
 
 /// Same, but lets the compression manager pick the format from the usage
-/// traced on `main` over the past `lifetime_seconds`.
+/// traced on `main` over the past `lifetime_seconds`. The decision is
+/// logged under `column_id`, and the rebuilt dictionary's actual size is
+/// recorded against the prediction (see src/obs/).
 StringColumn MergeDeltaAdaptive(const StringColumn& main,
                                 const DeltaColumn& delta,
                                 const CompressionManager& manager,
-                                double lifetime_seconds);
+                                double lifetime_seconds,
+                                std::string_view column_id = {});
 
 }  // namespace adict
 

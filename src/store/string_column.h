@@ -16,6 +16,7 @@
 
 #include "core/tradeoff.h"
 #include "dict/dictionary.h"
+#include "obs/obs.h"
 #include "store/column_vector.h"
 
 namespace adict {
@@ -44,13 +45,13 @@ class StringColumn {
 
   /// Value of `row` (counted as one extract).
   std::string GetValue(uint64_t row) const {
-    ++usage_.num_extracts;
+    CountExtracts(1);
     return dict_->Extract(vector_.Get(row));
   }
 
   /// Appends the value of `row` to `out` (counted as one extract).
   void GetValueInto(uint64_t row, std::string* out) const {
-    ++usage_.num_extracts;
+    CountExtracts(1);
     dict_->ExtractInto(vector_.Get(row), out);
   }
 
@@ -60,12 +61,17 @@ class StringColumn {
   /// Dictionary lookup (counted as one locate).
   LocateResult Locate(std::string_view value) const {
     ++usage_.num_locates;
+    if (obs::Enabled()) {
+      static obs::Counter* locates = obs::Metrics().GetCounter(
+          "dict.locate.count", "calls", "dictionary locate calls");
+      locates->Increment();
+    }
     return dict_->Locate(value);
   }
 
   /// Extracts the dictionary entry for a value ID (counted as one extract).
   std::string ExtractId(uint32_t id) const {
-    ++usage_.num_extracts;
+    CountExtracts(1);
     return dict_->Extract(id);
   }
 
@@ -75,6 +81,11 @@ class StringColumn {
                       const std::function<void(uint32_t, std::string_view)>&
                           fn) const {
     usage_.num_extracts += count;
+    if (obs::Enabled()) {
+      static obs::Counter* scanned = obs::Metrics().GetCounter(
+          "dict.scan.entries", "entries", "entries read via dictionary scans");
+      scanned->Increment(count);
+    }
     dict_->Scan(first, count, fn);
   }
 
@@ -118,6 +129,16 @@ class StringColumn {
   void ResetUsage() { usage_ = ColumnUsage{}; }
 
  private:
+  /// Bumps both the per-column usage trace and the global extract counter.
+  void CountExtracts(uint64_t n) const {
+    usage_.num_extracts += n;
+    if (obs::Enabled()) {
+      static obs::Counter* extracts = obs::Metrics().GetCounter(
+          "dict.extract.count", "calls", "dictionary extract calls");
+      extracts->Increment(n);
+    }
+  }
+
   std::unique_ptr<Dictionary> dict_;
   ColumnVector vector_;
   mutable ColumnUsage usage_;
