@@ -1,0 +1,78 @@
+// Guarded dictionary construction: build, validate, and degrade.
+//
+// The compression manager re-decides a column's dictionary format at every
+// delta merge. In a store serving live traffic that rebuild must never take
+// the process down, and a mispredicted or misbuilt dictionary must never be
+// committed. BuildDictionaryGuarded therefore wraps BuildDictionary with
+// three layers (docs/robustness.md):
+//
+//   1. preconditions — the input is checked against the format's
+//      representational limits (CheckBuildPreconditions) before the builder
+//      runs, so inputs a format cannot hold degrade instead of aborting;
+//   2. validation — the freshly built dictionary round-trips a sample of
+//      extracts and locates against the source strings, and its actual size
+//      is compared with the size model's prediction within a tolerance;
+//   3. degradation — on any failure (injected via fail points or real) the
+//      build walks chosen format -> fc block -> array, recording each step
+//      in the DecisionLog and the `dict.build.fallback` counter. Only if
+//      even `array` fails does the caller see an error.
+//
+// Fail points honored: `dict.build` (any format), `repair.build` (formats
+// with a Re-Pair codec), `fc.build` (front-coding-class formats),
+// `dict.validate` (post-build validation).
+#ifndef ADICT_CORE_BUILD_GUARD_H_
+#define ADICT_CORE_BUILD_GUARD_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "dict/dictionary.h"
+#include "util/status.h"
+
+namespace adict {
+
+struct GuardOptions {
+  /// Entries round-tripped (extract + locate) by validation; spread evenly,
+  /// always including the first and last entry. 0 disables round-trip
+  /// validation.
+  uint32_t sample_probes = 32;
+  /// Reject a build whose MemoryBytes() exceeds `size_tolerance *
+  /// predicted_dict_bytes + size_slack_bytes`. The slack absorbs fixed
+  /// overheads on tiny dictionaries. Only applied to the originally chosen
+  /// format (the prediction is for it, not for the fallbacks).
+  double size_tolerance = 4.0;
+  double size_slack_bytes = 64 * 1024;
+  /// Size model prediction for the chosen format's dictionary, in bytes.
+  /// < 0 disables the size check.
+  double predicted_dict_bytes = -1;
+  /// Decision-log record to annotate with fallback steps (0: none).
+  uint64_t log_sequence = 0;
+};
+
+struct GuardedBuildResult {
+  std::unique_ptr<Dictionary> dict;
+  /// Format actually built; differs from the requested format after a
+  /// fallback.
+  DictFormat format;
+  /// Degradation steps taken (0 in the normal case).
+  int num_fallbacks = 0;
+};
+
+/// Round-trips a sample of the dictionary against its source strings plus
+/// the size-vs-prediction check. Exposed for tests and offline audits.
+Status ValidateDictionary(const Dictionary& dict,
+                          std::span<const std::string> sorted_unique,
+                          const GuardOptions& options,
+                          bool check_size_prediction);
+
+/// Builds `format` over `sorted_unique` with validation and the
+/// degradation chain described above. Returns the last failure only if
+/// every format in the chain (including `array`) failed.
+StatusOr<GuardedBuildResult> BuildDictionaryGuarded(
+    DictFormat format, std::span<const std::string> sorted_unique,
+    const GuardOptions& options = {});
+
+}  // namespace adict
+
+#endif  // ADICT_CORE_BUILD_GUARD_H_

@@ -2,7 +2,9 @@
 
 #include <string>
 
+#include "core/build_guard.h"
 #include "obs/obs.h"
+#include "util/check.h"
 
 namespace adict {
 namespace {
@@ -88,7 +90,17 @@ FormatDecision CompressionManager::ChooseFormatLogged(
   const uint64_t sequence =
       LogFormatDecision(column_id, props, usage, candidates, details,
                         controller_.c(), options_.strategy);
-  return {details.selected, sequence};
+  double predicted_dict_bytes = -1;
+  for (const Candidate& candidate : candidates) {
+    if (candidate.format == details.selected) {
+      // The candidate's size axis includes the column vector; the built
+      // dictionary does not.
+      predicted_dict_bytes = candidate.size_bytes -
+                             static_cast<double>(usage.column_vector_bytes);
+      break;
+    }
+  }
+  return {details.selected, sequence, predicted_dict_bytes};
 }
 
 std::unique_ptr<Dictionary> CompressionManager::BuildAdaptiveDictionary(
@@ -96,13 +108,19 @@ std::unique_ptr<Dictionary> CompressionManager::BuildAdaptiveDictionary(
     std::string_view column_id) const {
   const FormatDecision decision =
       ChooseFormatLogged(sorted_unique, usage, column_id);
-  std::unique_ptr<Dictionary> dict =
-      BuildDictionary(decision.format, sorted_unique);
+  GuardOptions guard;
+  guard.predicted_dict_bytes = decision.predicted_dict_bytes;
+  guard.log_sequence = decision.log_sequence;
+  StatusOr<GuardedBuildResult> built =
+      BuildDictionaryGuarded(decision.format, sorted_unique, guard);
+  ADICT_CHECK_MSG(built.ok(),
+                  "dictionary rebuild failed beyond the array fallback");
   if (decision.log_sequence != 0) {
-    obs::Decisions().RecordActual(decision.log_sequence,
-                                  static_cast<double>(dict->MemoryBytes()));
+    obs::Decisions().RecordActual(
+        decision.log_sequence,
+        static_cast<double>(built->dict->MemoryBytes()));
   }
-  return dict;
+  return std::move(built->dict);
 }
 
 }  // namespace adict

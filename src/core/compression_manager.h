@@ -28,12 +28,16 @@
 
 namespace adict {
 
-/// A format choice plus the handle needed to report the built outcome back
-/// to the decision log.
+/// A format choice plus the handles needed to report the built outcome back
+/// to the decision log and to validate the build against the prediction.
 struct FormatDecision {
   DictFormat format;
   /// Sequence of the record in obs::Decisions(), or 0 if logging was off.
   uint64_t log_sequence = 0;
+  /// Predicted size of the chosen dictionary alone (candidate size minus
+  /// the column vector), comparable to Dictionary::MemoryBytes(). < 0 if
+  /// the chosen format was not among the candidates.
+  double predicted_dict_bytes = -1;
 };
 
 /// Appends one record to obs::Decisions() from the raw decision inputs and

@@ -79,7 +79,12 @@ std::unique_ptr<RawArrayDict> RawArrayDict::Deserialize(ByteReader* in) {
   auto dict = std::unique_ptr<RawArrayDict>(new RawArrayDict());
   dict->data_ = in->ReadString();
   dict->offsets_ = in->ReadVector<uint32_t>();
-  ADICT_CHECK(!dict->offsets_.empty());
+  if (dict->offsets_.empty() || dict->offsets_.front() != 0 ||
+      dict->offsets_.back() != dict->data_.size() ||
+      !std::is_sorted(dict->offsets_.begin(), dict->offsets_.end())) {
+    in->Fail("raw array dictionary offsets corrupt");
+    return nullptr;
+  }
   return dict;
 }
 
@@ -144,10 +149,18 @@ std::unique_ptr<CodedArrayDict> CodedArrayDict::Deserialize(ByteReader* in) {
   auto dict = std::unique_ptr<CodedArrayDict>(new CodedArrayDict());
   dict->format_ = static_cast<DictFormat>(in->Read<uint16_t>());
   dict->codec_ = DeserializeCodec(in);
-  ADICT_CHECK(dict->codec_ != nullptr);
+  if (dict->codec_ == nullptr) {
+    in->Fail("coded array dictionary without codec");
+    return nullptr;
+  }
   dict->data_ = in->ReadVector<uint8_t>();
   dict->offsets_ = in->ReadVector<uint32_t>();
-  ADICT_CHECK(!dict->offsets_.empty());
+  if (dict->offsets_.empty() || dict->offsets_.front() != 0 ||
+      dict->offsets_.back() > dict->data_.size() * 8 ||
+      !std::is_sorted(dict->offsets_.begin(), dict->offsets_.end())) {
+    in->Fail("coded array dictionary offsets corrupt");
+    return nullptr;
+  }
   return dict;
 }
 
@@ -207,8 +220,11 @@ std::unique_ptr<FixedArrayDict> FixedArrayDict::Deserialize(ByteReader* in) {
   dict->num_strings_ = in->Read<uint32_t>();
   dict->width_ = in->Read<uint32_t>();
   dict->data_ = in->ReadString();
-  ADICT_CHECK(dict->data_.size() ==
-              static_cast<size_t>(dict->num_strings_) * dict->width_);
+  if (dict->data_.size() !=
+      static_cast<size_t>(dict->num_strings_) * dict->width_) {
+    in->Fail("fixed array dictionary size mismatch");
+    return nullptr;
+  }
   return dict;
 }
 

@@ -189,6 +189,15 @@ std::unique_ptr<ColumnBcDict> ColumnBcDict::Deserialize(ByteReader* in) {
   dict->num_strings_ = in->Read<uint32_t>();
   dict->arena_ = in->ReadVector<uint8_t>();
   dict->offsets_ = in->ReadVector<uint32_t>();
+  const size_t expected_blocks =
+      (static_cast<size_t>(dict->num_strings_) + kBlockSize - 1) / kBlockSize;
+  if (dict->offsets_.size() != expected_blocks ||
+      !std::is_sorted(dict->offsets_.begin(), dict->offsets_.end()) ||
+      (!dict->offsets_.empty() &&
+       dict->offsets_.back() >= dict->arena_.size())) {
+    in->Fail("column bc dictionary structure corrupt");
+    return nullptr;
+  }
   return dict;
 }
 

@@ -1,5 +1,6 @@
 #include "dict/dictionary.h"
 
+#include <algorithm>
 #include <array>
 
 #include "dict/array_dict.h"
@@ -176,6 +177,62 @@ std::unique_ptr<Dictionary> BuildDictionaryImpl(
 }
 
 }  // namespace
+
+Status CheckBuildPreconditions(DictFormat format,
+                               std::span<const std::string> sorted_unique) {
+  if (!IsSortedUnique(sorted_unique)) {
+    return Status::FailedPrecondition("input not sorted strictly ascending");
+  }
+  if (sorted_unique.size() >= 0xFFFFFFFFull) {
+    return Status::ResourceExhausted("too many entries for 32-bit value IDs");
+  }
+  const uint64_t raw_bytes = RawDataBytes(sorted_unique);
+  uint64_t max_len = 0;
+  for (const std::string& s : sorted_unique) {
+    max_len = std::max<uint64_t>(max_len, s.size());
+  }
+  constexpr uint64_t kPayloadLimit = 1ull << 32;  // 32-bit offsets everywhere
+
+  if (format == DictFormat::kArray && raw_bytes >= kPayloadLimit) {
+    return Status::ResourceExhausted("array payload exceeds 32-bit offsets");
+  }
+  if (IsArrayClass(format) && DictFormatCodec(format) != CodecKind::kNone &&
+      raw_bytes * 2 >= kPayloadLimit) {
+    // Conservative proxy: no codec in the survey expands beyond 2x, and bit
+    // offsets must stay below 2^32.
+    return Status::ResourceExhausted("coded array payload may exceed limits");
+  }
+  if (format == DictFormat::kArrayFixed) {
+    if (max_len * sorted_unique.size() >= kPayloadLimit) {
+      return Status::ResourceExhausted("fixed array slots exceed size limit");
+    }
+    for (const std::string& s : sorted_unique) {
+      if (s.find('\0') != std::string::npos) {
+        return Status::FailedPrecondition(
+            "array fixed requires NUL-free strings");
+      }
+    }
+  }
+  if (IsFrontCodingClass(format)) {
+    if (max_len >= (1u << 24)) {
+      return Status::FailedPrecondition(
+          "front coding headers limit strings to 16 MiB");
+    }
+    if (raw_bytes + 10 * sorted_unique.size() >= kPayloadLimit) {
+      return Status::ResourceExhausted("fc payload exceeds 32-bit offsets");
+    }
+  }
+  if (format == DictFormat::kColumnBc) {
+    if (max_len >= (1u << 16)) {
+      return Status::FailedPrecondition(
+          "column bc limits strings to 64 KiB");
+    }
+    if (raw_bytes * 2 >= kPayloadLimit) {
+      return Status::ResourceExhausted("column bc arena may exceed limits");
+    }
+  }
+  return Status::Ok();
+}
 
 std::unique_ptr<Dictionary> BuildDictionary(
     DictFormat format, std::span<const std::string> sorted_unique) {

@@ -17,6 +17,7 @@
 
 #include "text/codec.h"
 #include "util/serde.h"
+#include "util/status.h"
 
 namespace adict {
 
@@ -119,6 +120,14 @@ class Dictionary {
 /// the input may be discarded afterwards.
 std::unique_ptr<Dictionary> BuildDictionary(
     DictFormat format, std::span<const std::string> sorted_unique);
+
+/// Checks the input against `format`'s representational limits *before*
+/// building: BuildDictionary treats a violation as a programming error and
+/// aborts, while production rebuild paths (core/build_guard.h) call this
+/// first and degrade to a safer format on kFailedPrecondition /
+/// kResourceExhausted instead of crashing.
+Status CheckBuildPreconditions(DictFormat format,
+                               std::span<const std::string> sorted_unique);
 
 /// Returns true if `strings` is strictly ascending (valid dictionary input).
 bool IsSortedUnique(std::span<const std::string> strings);

@@ -232,15 +232,26 @@ void FcBlockDict::Serialize(ByteWriter* out) const {
 
 std::unique_ptr<FcBlockDict> FcBlockDict::Deserialize(ByteReader* in) {
   auto dict = std::unique_ptr<FcBlockDict>(new FcBlockDict());
-  dict->format_ = static_cast<DictFormat>(in->Read<uint16_t>());
+  const uint16_t raw_tag = in->Read<uint16_t>();
+  if (raw_tag >= kNumDictFormats) {
+    in->Fail("fc block dictionary format tag corrupt");
+    return nullptr;
+  }
+  dict->format_ = static_cast<DictFormat>(raw_tag);
   dict->diff_to_first_ = dict->format_ == DictFormat::kFcBlockDf;
   dict->num_strings_ = in->Read<uint32_t>();
   dict->codec_ = DeserializeCodec(in);
   dict->data_ = in->ReadVector<uint8_t>();
   dict->headers_ = in->ReadVector<uint8_t>();
   dict->offsets_ = in->ReadVector<uint32_t>();
-  ADICT_CHECK(dict->headers_.size() ==
-              static_cast<size_t>(dict->num_strings_) * kHeaderBytesPerString);
+  if (!IsFrontCodingClass(dict->format_) ||
+      (dict->codec_ == nullptr) !=
+          (DictFormatCodec(dict->format_) == CodecKind::kNone) ||
+      dict->headers_.size() !=
+          static_cast<size_t>(dict->num_strings_) * kHeaderBytesPerString) {
+    in->Fail("fc block dictionary structure corrupt");
+    return nullptr;
+  }
   return dict;
 }
 
@@ -364,6 +375,15 @@ std::unique_ptr<FcInlineDict> FcInlineDict::Deserialize(ByteReader* in) {
   dict->num_strings_ = in->Read<uint32_t>();
   dict->data_ = in->ReadVector<uint8_t>();
   dict->offsets_ = in->ReadVector<uint32_t>();
+  const size_t expected_blocks =
+      (static_cast<size_t>(dict->num_strings_) + kBlockSize - 1) / kBlockSize;
+  if (dict->offsets_.size() != expected_blocks ||
+      !std::is_sorted(dict->offsets_.begin(), dict->offsets_.end()) ||
+      (!dict->offsets_.empty() &&
+       dict->offsets_.back() >= dict->data_.size())) {
+    in->Fail("fc inline dictionary structure corrupt");
+    return nullptr;
+  }
   return dict;
 }
 

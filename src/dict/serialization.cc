@@ -6,51 +6,59 @@
 #include "dict/column_bc.h"
 #include "dict/front_coding.h"
 #include "obs/obs.h"
-#include "util/check.h"
+#include "util/crc32.h"
+#include "util/failpoint.h"
 
 namespace adict {
 namespace {
 
 constexpr uint32_t kMagic = 0x43494441;  // "ADIC", little endian
-constexpr uint16_t kVersion = 1;
+constexpr uint16_t kVersion = 2;
+// v1: magic | version | format | payload — no length, no checksum.
+constexpr uint16_t kLegacyVersion = 1;
 
-}  // namespace
+// magic + version + format.
+constexpr size_t kCommonHeaderBytes = 4 + 2 + 2;
+// v2 adds payload length + CRC-32.
+constexpr size_t kV2TrailerBytes = 8 + 4;
 
-void SaveDictionary(const Dictionary& dict, std::vector<uint8_t>* out) {
-  ByteWriter writer(out);
-  writer.Write<uint32_t>(kMagic);
-  writer.Write<uint16_t>(kVersion);
-  writer.Write<uint16_t>(static_cast<uint16_t>(dict.format()));
-  dict.Serialize(&writer);
+void CountCorruption() {
   if (obs::Enabled()) {
-    static obs::Counter* saves = obs::Metrics().GetCounter(
-        "dict.save.count", "calls", "dictionaries serialized");
-    saves->Increment();
+    static obs::Counter* corrupt = obs::Metrics().GetCounter(
+        "dict.load.corruption", "errors",
+        "dictionary loads rejected as corrupt or truncated");
+    corrupt->Increment();
   }
 }
 
-std::unique_ptr<Dictionary> LoadDictionary(ByteReader* in) {
-  if (obs::Enabled()) {
-    static obs::Counter* loads = obs::Metrics().GetCounter(
-        "dict.load.count", "calls", "dictionaries deserialized");
-    loads->Increment();
-  }
-  ADICT_CHECK_MSG(in->Read<uint32_t>() == kMagic, "bad dictionary magic");
-  ADICT_CHECK_MSG(in->Read<uint16_t>() == kVersion,
-                  "unsupported dictionary version");
-  const DictFormat format = static_cast<DictFormat>(in->Read<uint16_t>());
+Status Corrupt(const char* msg) {
+  CountCorruption();
+  return Status::Corruption(msg);
+}
+
+Status Truncated(const char* msg) {
+  CountCorruption();
+  return Status::Truncated(msg);
+}
+
+/// Dispatches the checksummed (or, for v1, best-effort) payload to the
+/// format's deserializer. `format` has been range-validated; `payload` is a
+/// kRecord-mode reader bounded to the payload bytes, so neither an overrun
+/// nor an invariant violation can abort.
+std::unique_ptr<Dictionary> DeserializePayload(DictFormat format,
+                                               ByteReader* payload) {
   switch (format) {
     case DictFormat::kArray:
-      return RawArrayDict::Deserialize(in);
+      return RawArrayDict::Deserialize(payload);
     case DictFormat::kArrayBc:
     case DictFormat::kArrayHu:
     case DictFormat::kArrayNg2:
     case DictFormat::kArrayNg3:
     case DictFormat::kArrayRp12:
     case DictFormat::kArrayRp16:
-      return CodedArrayDict::Deserialize(in);
+      return CodedArrayDict::Deserialize(payload);
     case DictFormat::kArrayFixed:
-      return FixedArrayDict::Deserialize(in);
+      return FixedArrayDict::Deserialize(payload);
     case DictFormat::kFcBlock:
     case DictFormat::kFcBlockBc:
     case DictFormat::kFcBlockHu:
@@ -59,41 +67,162 @@ std::unique_ptr<Dictionary> LoadDictionary(ByteReader* in) {
     case DictFormat::kFcBlockRp12:
     case DictFormat::kFcBlockRp16:
     case DictFormat::kFcBlockDf:
-      return FcBlockDict::Deserialize(in);
+      return FcBlockDict::Deserialize(payload);
     case DictFormat::kFcInline:
-      return FcInlineDict::Deserialize(in);
+      return FcInlineDict::Deserialize(payload);
     case DictFormat::kColumnBc:
-      return ColumnBcDict::Deserialize(in);
+      return ColumnBcDict::Deserialize(payload);
   }
-  ADICT_CHECK_MSG(false, "corrupt dictionary format tag");
-  return nullptr;
+  return nullptr;  // unreachable: tag validated before the switch
 }
 
-std::unique_ptr<Dictionary> LoadDictionary(const std::vector<uint8_t>& data) {
-  ByteReader reader(data.data(), data.size());
+}  // namespace
+
+void SaveDictionary(const Dictionary& dict, std::vector<uint8_t>* out) {
+  ByteWriter writer(out);
+  writer.Write<uint32_t>(kMagic);
+  writer.Write<uint16_t>(kVersion);
+  const size_t checksummed_from = out->size();  // format tag onwards
+  writer.Write<uint16_t>(static_cast<uint16_t>(dict.format()));
+
+  std::vector<uint8_t> payload;
+  ByteWriter payload_writer(&payload);
+  dict.Serialize(&payload_writer);
+  writer.Write<uint64_t>(payload.size());
+
+  Crc32 crc;  // format tag + length field + payload
+  crc.Update(out->data() + checksummed_from, out->size() - checksummed_from);
+  crc.Update(payload.data(), payload.size());
+  writer.Write<uint32_t>(crc.value());
+  writer.WriteBytes(payload.data(), payload.size());
+
+  if (obs::Enabled()) {
+    static obs::Counter* saves = obs::Metrics().GetCounter(
+        "dict.save.count", "calls", "dictionaries serialized");
+    saves->Increment();
+  }
+}
+
+StatusOr<std::unique_ptr<Dictionary>> LoadDictionary(ByteReader* in) {
+  if (obs::Enabled()) {
+    static obs::Counter* loads = obs::Metrics().GetCounter(
+        "dict.load.count", "calls", "dictionaries deserialized");
+    loads->Increment();
+  }
+  if (ADICT_FAIL_POINT("dict.load")) {
+    return Corrupt("injected dict.load failure");
+  }
+
+  // Header fields are read only after an explicit remaining() check, so this
+  // path is overrun-free even on an abort-mode reader.
+  if (in->remaining() < kCommonHeaderBytes) {
+    return Truncated("envelope header truncated");
+  }
+  if (in->Read<uint32_t>() != kMagic) return Corrupt("bad dictionary magic");
+  const uint16_t version = in->Read<uint16_t>();
+  if (version != kVersion && version != kLegacyVersion) {
+    CountCorruption();
+    return Status::UnsupportedVersion("unknown dictionary envelope version");
+  }
+
+  const uint8_t* checksummed_from = in->cursor();  // format tag onwards
+  const uint16_t raw_tag = in->Read<uint16_t>();
+
+  size_t payload_len = 0;
+  if (version == kVersion) {
+    if (in->remaining() < kV2TrailerBytes) {
+      return Truncated("envelope trailer truncated");
+    }
+    const uint64_t stored_len = in->Read<uint64_t>();
+    const size_t checksummed_header =
+        static_cast<size_t>(in->cursor() - checksummed_from);
+    const uint32_t stored_crc = in->Read<uint32_t>();
+    if (stored_len > in->remaining()) return Truncated("payload truncated");
+    payload_len = static_cast<size_t>(stored_len);
+
+    Crc32 crc;
+    crc.Update(checksummed_from, checksummed_header);
+    crc.Update(in->cursor(), payload_len);
+    if (crc.value() != stored_crc) return Corrupt("checksum mismatch");
+  } else {
+    // v1 compatibility: accepted with a logged warning, but the image
+    // carries no length or checksum, so corruption detection is best-effort
+    // (structural checks in the deserializers only).
+    if (obs::Enabled()) {
+      static obs::Counter* legacy = obs::Metrics().GetCounter(
+          "dict.load.v1_compat", "loads",
+          "v1 (unchecksummed) dictionary images accepted");
+      legacy->Increment();
+    }
+    static bool warned = false;
+    if (!warned) {
+      warned = true;
+      std::fprintf(stderr,
+                   "adict: loading v1 dictionary image without checksum; "
+                   "re-save to upgrade to the v2 envelope\n");
+    }
+    payload_len = in->remaining();
+  }
+
+  // Satellite of the robustness work: validate the tag range *before* any
+  // dispatch, so an enum value added later can never fall through a switch.
+  if (raw_tag >= kNumDictFormats) return Corrupt("format tag out of range");
+  const DictFormat format = static_cast<DictFormat>(raw_tag);
+
+  // Parse the payload through a recording reader bounded to the payload
+  // slice: a deserializer can neither abort nor read past the envelope.
+  ByteReader payload(in->cursor(), payload_len, ByteReader::OnError::kRecord);
+  std::unique_ptr<Dictionary> dict = DeserializePayload(format, &payload);
+  in->Skip(version == kVersion ? payload_len : payload.position());
+  if (payload.failed() || dict == nullptr) {
+    return Corrupt("corrupt dictionary payload");
+  }
+  if (version == kVersion && !payload.exhausted()) {
+    return Corrupt("payload length mismatch");
+  }
+  return dict;
+}
+
+StatusOr<std::unique_ptr<Dictionary>> LoadDictionary(
+    const std::vector<uint8_t>& data) {
+  ByteReader reader(data.data(), data.size(), ByteReader::OnError::kRecord);
   return LoadDictionary(&reader);
 }
 
-bool SaveDictionaryToFile(const Dictionary& dict, const std::string& path) {
+Status SaveDictionaryToFile(const Dictionary& dict, const std::string& path) {
   std::vector<uint8_t> buffer;
   SaveDictionary(dict, &buffer);
+  if (ADICT_FAIL_POINT("dict.save.file")) {
+    return Status::IoError("injected dict.save.file failure");
+  }
   std::FILE* file = std::fopen(path.c_str(), "wb");
-  if (file == nullptr) return false;
+  if (file == nullptr) {
+    return Status::IoError("cannot open file for writing: " + path);
+  }
   const size_t written = std::fwrite(buffer.data(), 1, buffer.size(), file);
-  const bool ok = std::fclose(file) == 0 && written == buffer.size();
-  return ok;
+  const bool closed = std::fclose(file) == 0;
+  if (written != buffer.size() || !closed) {
+    std::remove(path.c_str());  // don't leave a torn image behind
+    return Status::IoError("short write or close failure: " + path);
+  }
+  return Status::Ok();
 }
 
-std::unique_ptr<Dictionary> LoadDictionaryFromFile(const std::string& path) {
+StatusOr<std::unique_ptr<Dictionary>> LoadDictionaryFromFile(
+    const std::string& path) {
   std::FILE* file = std::fopen(path.c_str(), "rb");
-  if (file == nullptr) return nullptr;
+  if (file == nullptr) {
+    return Status::IoError("cannot open file for reading: " + path);
+  }
   std::fseek(file, 0, SEEK_END);
   const long size = std::ftell(file);
   std::fseek(file, 0, SEEK_SET);
   std::vector<uint8_t> buffer(size > 0 ? static_cast<size_t>(size) : 0);
   const size_t read = std::fread(buffer.data(), 1, buffer.size(), file);
   std::fclose(file);
-  if (read != buffer.size()) return nullptr;
+  if (read != buffer.size()) {
+    return Status::IoError("short read: " + path);
+  }
   return LoadDictionary(buffer);
 }
 

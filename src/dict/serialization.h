@@ -1,8 +1,21 @@
-// Dictionary persistence: a versioned binary envelope around the per-format
-// state, so read-optimized dictionaries can be written to disk at merge time
-// and mapped back without re-encoding.
+// Dictionary persistence: a versioned, checksummed binary envelope around
+// the per-format state, so read-optimized dictionaries can be written to
+// disk at merge time and mapped back without re-encoding.
 //
-// Layout: magic "ADIC" (u32) | version (u16) | DictFormat (u16) | payload.
+// Envelope v2 layout (all fields little endian):
+//
+//   magic "ADIC" (u32) | version (u16) | DictFormat (u16) |
+//   payload length (u64) | CRC-32 (u32) | payload
+//
+// The CRC covers the format tag, the length field, and the payload, so a
+// bit flip anywhere in the image — including a flipped format tag that
+// would route the payload to the wrong deserializer — is detected
+// deterministically before any payload byte is interpreted. Loading never
+// aborts: every failure (bad magic, unsupported version, truncation,
+// checksum mismatch, payload that fails structural validation) is reported
+// as a non-OK Status. v1 images (no length/CRC) are still loadable; they
+// are parsed defensively and counted under `dict.load.v1_compat`, but carry
+// no integrity protection (docs/robustness.md).
 #ifndef ADICT_DICT_SERIALIZATION_H_
 #define ADICT_DICT_SERIALIZATION_H_
 
@@ -11,22 +24,30 @@
 #include <vector>
 
 #include "dict/dictionary.h"
+#include "util/status.h"
 
 namespace adict {
 
-/// Appends the serialized dictionary to `out`.
+/// Appends the serialized dictionary (envelope v2) to `out`.
 void SaveDictionary(const Dictionary& dict, std::vector<uint8_t>* out);
 
-/// Reconstructs a dictionary from `data`, advancing past it. Aborts on a
-/// corrupt envelope (wrong magic / version / format tag).
-std::unique_ptr<Dictionary> LoadDictionary(ByteReader* in);
+/// Reconstructs a dictionary from `in`, advancing past it. Never aborts on
+/// corrupt input: returns kTruncated / kCorruption / kUnsupportedVersion
+/// instead. On error the reader position is unspecified.
+StatusOr<std::unique_ptr<Dictionary>> LoadDictionary(ByteReader* in);
 
 /// Convenience: whole-buffer load.
-std::unique_ptr<Dictionary> LoadDictionary(const std::vector<uint8_t>& data);
+StatusOr<std::unique_ptr<Dictionary>> LoadDictionary(
+    const std::vector<uint8_t>& data);
 
-/// File helpers. Return false / nullptr on I/O failure.
-bool SaveDictionaryToFile(const Dictionary& dict, const std::string& path);
-std::unique_ptr<Dictionary> LoadDictionaryFromFile(const std::string& path);
+/// Writes the envelope to `path`. Reports short writes and close failures
+/// as kIoError; the partial file is removed on failure.
+Status SaveDictionaryToFile(const Dictionary& dict, const std::string& path);
+
+/// Reads and loads an envelope from `path` (kIoError on file problems,
+/// otherwise as LoadDictionary).
+StatusOr<std::unique_ptr<Dictionary>> LoadDictionaryFromFile(
+    const std::string& path);
 
 }  // namespace adict
 

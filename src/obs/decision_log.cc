@@ -41,6 +41,17 @@ bool DecisionLog::RecordActual(uint64_t sequence, double actual_dict_bytes) {
   return true;
 }
 
+bool DecisionLog::RecordFallback(uint64_t sequence, FallbackEvent event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.empty() || sequence < ring_.front().sequence ||
+      sequence > ring_.back().sequence) {
+    return false;
+  }
+  ring_[sequence - ring_.front().sequence].fallbacks.push_back(
+      std::move(event));
+  return true;
+}
+
 bool DecisionLog::RecordActualForColumn(std::string_view column_id,
                                         double actual_dict_bytes) {
   uint64_t sequence = 0;

@@ -37,6 +37,17 @@ struct DecisionCandidate {
   double rel_time = 0;
 };
 
+/// One step of the guarded build's degradation chain: the decided (or
+/// previous fallback) format failed to build or validate, and the rebuild
+/// moved on to the next, safer format (docs/robustness.md).
+struct FallbackEvent {
+  int from_format_id = -1;
+  std::string from_format_name;
+  int to_format_id = -1;
+  std::string to_format_name;
+  std::string reason;  // Status::ToString() of the failure
+};
+
 /// One ChooseFormat call, from sampled input to (eventually) built output.
 struct DecisionRecord {
   uint64_t sequence = 0;  // assigned by DecisionLog::Push, starts at 1
@@ -67,6 +78,12 @@ struct DecisionRecord {
 
   // The outcome, patched in by RecordActual* once the dictionary is built.
   double actual_dict_bytes = -1;  // < 0: not (yet) built
+
+  // Degradation steps taken before the build committed (empty in the normal
+  // case where the chosen format built and validated first try). The format
+  // actually built is the last event's to_format_id, or the chosen format
+  // when no fallback happened.
+  std::vector<FallbackEvent> fallbacks;
 
   bool has_actual() const { return actual_dict_bytes >= 0; }
   /// The paper's relative prediction error |real - predicted| / real
@@ -119,6 +136,10 @@ class DecisionLog {
   /// actual size yet (for callers that rebuild by name, not by sequence).
   bool RecordActualForColumn(std::string_view column_id,
                              double actual_dict_bytes);
+
+  /// Appends a degradation step to the record with `sequence`. Returns
+  /// false if the record was already evicted.
+  bool RecordFallback(uint64_t sequence, FallbackEvent event);
 
   /// Copies the current contents, oldest first.
   std::vector<DecisionRecord> Snapshot() const;

@@ -168,6 +168,11 @@ std::string DecisionLogToText(const DecisionLog& log, size_t max_entries) {
       Appendf(&out, "        predicted %.0f B, not built\n",
               r.predicted_dict_bytes);
     }
+    for (const FallbackEvent& fb : r.fallbacks) {
+      Appendf(&out, "        FELL BACK %s -> %s (%s)\n",
+              fb.from_format_name.c_str(), fb.to_format_name.c_str(),
+              fb.reason.c_str());
+    }
   }
   out.append(PredictionAccuracyToText(log.accuracy()));
   return out;
@@ -197,6 +202,20 @@ std::string DecisionLogToJson(const DecisionLog& log) {
     if (r.has_actual()) {
       Appendf(&out, ",\"actual_dict_bytes\":%.6g,\"rel_error\":%.6g",
               r.actual_dict_bytes, r.prediction_error());
+    }
+    if (!r.fallbacks.empty()) {
+      out.append(",\"fallbacks\":[");
+      for (size_t i = 0; i < r.fallbacks.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        out.append("{\"from\":");
+        AppendJsonString(&out, r.fallbacks[i].from_format_name);
+        out.append(",\"to\":");
+        AppendJsonString(&out, r.fallbacks[i].to_format_name);
+        out.append(",\"reason\":");
+        AppendJsonString(&out, r.fallbacks[i].reason);
+        out.push_back('}');
+      }
+      out.push_back(']');
     }
     out.append(",\"candidates\":[");
     for (size_t i = 0; i < r.candidates.size(); ++i) {

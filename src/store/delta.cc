@@ -2,7 +2,10 @@
 
 #include <algorithm>
 
+#include "core/build_guard.h"
 #include "obs/obs.h"
+#include "util/check.h"
+#include "util/failpoint.h"
 
 namespace adict {
 
@@ -97,10 +100,37 @@ StringColumn MergeDeltaAdaptive(const StringColumn& main,
   obs::ScopedTimer timer(MergeTimerHistogram());
   CountMerge(main, delta);
   DomainEncoded encoded = MergeEncode(main, delta);
-  const FormatDecision decision = manager.ChooseFormatLogged(
-      encoded.dictionary, main.TracedUsage(lifetime_seconds), column_id);
+
+  // The decision itself is guarded: if the manager fails (injected via the
+  // `merge.choose_format` fail point), the merge proceeds with the paper's
+  // robust mid-point format instead of dropping the delta.
+  FormatDecision decision{DictFormat::kFcBlock, 0, -1};
+  if (ADICT_FAIL_POINT("merge.choose_format")) {
+    if (obs::Enabled()) {
+      static obs::Counter* decision_fallbacks = obs::Metrics().GetCounter(
+          "store.merge.decision_fallback", "events",
+          "merges that used the default format because the format decision "
+          "failed");
+      decision_fallbacks->Increment();
+    }
+  } else {
+    decision = manager.ChooseFormatLogged(
+        encoded.dictionary, main.TracedUsage(lifetime_seconds), column_id);
+  }
+
+  GuardOptions guard;
+  guard.predicted_dict_bytes = decision.predicted_dict_bytes;
+  guard.log_sequence = decision.log_sequence;
+  StatusOr<GuardedBuildResult> built =
+      BuildDictionaryGuarded(decision.format, encoded.dictionary, guard);
+  // The chain ends at `array`, which cannot fail on the (sorted, unique)
+  // merge output; reaching this check means every format including the
+  // uncompressed fallback failed — there is no column left to serve.
+  ADICT_CHECK_MSG(built.ok(),
+                  "delta merge: dictionary rebuild failed beyond the array "
+                  "fallback");
   StringColumn merged =
-      StringColumn::FromEncoded(std::move(encoded), decision.format);
+      StringColumn::FromParts(std::move(built->dict), encoded.ids);
   if (decision.log_sequence != 0) {
     obs::Decisions().RecordActual(
         decision.log_sequence, static_cast<double>(merged.DictionaryBytes()));

@@ -54,7 +54,10 @@ StringColumn MergeDelta(const StringColumn& main, const DeltaColumn& delta,
 /// Same, but lets the compression manager pick the format from the usage
 /// traced on `main` over the past `lifetime_seconds`. The decision is
 /// logged under `column_id`, and the rebuilt dictionary's actual size is
-/// recorded against the prediction (see src/obs/).
+/// recorded against the prediction (see src/obs/). The rebuild is guarded
+/// (core/build_guard.h): a build or validation failure degrades through
+/// fc block to array instead of failing the merge, with each step recorded
+/// in the decision log.
 StringColumn MergeDeltaAdaptive(const StringColumn& main,
                                 const DeltaColumn& delta,
                                 const CompressionManager& manager,

@@ -39,6 +39,15 @@ StringColumn StringColumn::FromEncoded(DomainEncoded encoded,
   return column;
 }
 
+StringColumn StringColumn::FromParts(std::unique_ptr<Dictionary> dict,
+                                     std::span<const uint32_t> ids) {
+  ADICT_CHECK(dict != nullptr);
+  StringColumn column;
+  column.vector_ = ColumnVector(ids, dict->size());
+  column.dict_ = std::move(dict);
+  return column;
+}
+
 std::vector<std::string> StringColumn::MaterializeDictionary() const {
   std::vector<std::string> values;
   values.reserve(dict_->size());
@@ -61,10 +70,12 @@ void StringColumn::Serialize(ByteWriter* out) const {
   vector_.Serialize(out);
 }
 
-StringColumn StringColumn::Deserialize(ByteReader* in) {
+StatusOr<StringColumn> StringColumn::Deserialize(ByteReader* in) {
   StringColumn column;
   const std::vector<uint8_t> dict_bytes = in->ReadVector<uint8_t>();
-  column.dict_ = LoadDictionary(dict_bytes);
+  StatusOr<std::unique_ptr<Dictionary>> dict = LoadDictionary(dict_bytes);
+  if (!dict.ok()) return dict.status();
+  column.dict_ = std::move(dict).value();
   column.vector_ = ColumnVector::Deserialize(in);
   return column;
 }

@@ -18,6 +18,7 @@
 #include "dict/dictionary.h"
 #include "obs/obs.h"
 #include "store/column_vector.h"
+#include "util/status.h"
 
 namespace adict {
 
@@ -42,6 +43,12 @@ class StringColumn {
 
   /// Builds from pre-encoded parts (used by merge and by format changes).
   static StringColumn FromEncoded(DomainEncoded encoded, DictFormat format);
+
+  /// Assembles a column from an already-built dictionary and per-row value
+  /// IDs (used by the guarded merge path, which builds — and possibly
+  /// falls back — the dictionary before committing the column).
+  static StringColumn FromParts(std::unique_ptr<Dictionary> dict,
+                                std::span<const uint32_t> ids);
 
   /// Value of `row` (counted as one extract).
   std::string GetValue(uint64_t row) const {
@@ -113,9 +120,10 @@ class StringColumn {
 
   /// Persistence: compressed dictionary + bit-packed vector, no re-encoding
   /// on load. Usage counters are not persisted (they describe one dictionary
-  /// lifetime).
+  /// lifetime). Deserialize fails (never aborts) on a corrupt or truncated
+  /// dictionary image.
   void Serialize(ByteWriter* out) const;
-  static StringColumn Deserialize(ByteReader* in);
+  static StatusOr<StringColumn> Deserialize(ByteReader* in);
 
   /// Usage counters since construction or the last ResetUsage(). The
   /// lifetime and column vector size fields are filled in, the counters

@@ -63,7 +63,14 @@ void SerializeCodec(const StringCodec* codec, ByteWriter* out) {
 }
 
 std::unique_ptr<StringCodec> DeserializeCodec(ByteReader* in) {
-  const CodecKind kind = static_cast<CodecKind>(in->Read<uint16_t>());
+  const uint16_t raw_kind = in->Read<uint16_t>();
+  if (raw_kind > static_cast<uint16_t>(CodecKind::kRePair16)) {
+    // Corrupt tag: reported through the reader so untrusted (kRecord-mode)
+    // loads degrade to a Status instead of aborting.
+    in->Fail("corrupt codec kind tag");
+    return nullptr;
+  }
+  const CodecKind kind = static_cast<CodecKind>(raw_kind);
   switch (kind) {
     case CodecKind::kNone:
       return nullptr;

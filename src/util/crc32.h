@@ -1,0 +1,29 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) for integrity
+// checking of persisted images. Deterministic, cheap, and strong enough to
+// catch the bit-flips and truncations the serialization envelope guards
+// against; cryptographic integrity is out of scope (use util/sha256 there).
+#ifndef ADICT_UTIL_CRC32_H_
+#define ADICT_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace adict {
+
+/// Incremental CRC-32: Update() over any number of chunks, then value().
+class Crc32 {
+ public:
+  void Update(const void* data, size_t size);
+  /// CRC of everything fed to Update() so far.
+  uint32_t value() const { return state_ ^ 0xFFFFFFFFu; }
+
+ private:
+  uint32_t state_ = 0xFFFFFFFFu;
+};
+
+/// One-shot convenience.
+uint32_t Crc32Of(const void* data, size_t size);
+
+}  // namespace adict
+
+#endif  // ADICT_UTIL_CRC32_H_

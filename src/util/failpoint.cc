@@ -1,0 +1,197 @@
+#include "util/failpoint.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+
+namespace adict {
+namespace failpoint {
+namespace {
+
+struct PointState {
+  Spec spec;
+  uint64_t hits = 0;
+};
+
+class Registry {
+ public:
+  static Registry& Instance() {
+    static Registry* instance = new Registry();  // never destroyed
+    return *instance;
+  }
+
+  void Enable(std::string_view name, const Spec& spec) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    PointState& state = points_[std::string(name)];
+    state.spec = spec;
+    state.hits = 0;
+  }
+
+  void Disable(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = points_.find(std::string(name));
+    if (it != points_.end()) it->second.spec = Spec::Off();
+  }
+
+  void DisableAll() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    points_.clear();
+  }
+
+  uint64_t HitCount(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = points_.find(std::string(name));
+    return it == points_.end() ? 0 : it->second.hits;
+  }
+
+  std::vector<std::string> ActiveNames() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> names;
+    for (const auto& [name, state] : points_) {
+      if (state.spec.mode != Spec::Mode::kOff) names.push_back(name);
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+
+  void SetSeed(uint64_t seed) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    rng_state_ = seed != 0 ? seed : 1;
+  }
+
+  bool ShouldFail(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    PointState& state = points_[std::string(name)];
+    const uint64_t hit = ++state.hits;
+    switch (state.spec.mode) {
+      case Spec::Mode::kOff:
+        return false;
+      case Spec::Mode::kAlways:
+        return true;
+      case Spec::Mode::kNth:
+        return hit == state.spec.n;
+      case Spec::Mode::kFirst:
+        return hit <= state.spec.n;
+      case Spec::Mode::kProb:
+        return NextUniform() < state.spec.probability;
+    }
+    return false;
+  }
+
+ private:
+  Registry() { LoadFromEnv(); }
+
+  // splitmix64: deterministic, seedable, no <random> heft.
+  double NextUniform() {
+    rng_state_ += 0x9E3779B97F4A7C15ull;
+    uint64_t z = rng_state_;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    z ^= z >> 31;
+    return static_cast<double>(z >> 11) * 0x1.0p-53;
+  }
+
+  void LoadFromEnv() {
+    const char* env = std::getenv("ADICT_FAILPOINTS");
+    if (env == nullptr) return;
+    std::string_view rest(env);
+    while (!rest.empty()) {
+      const size_t semi = rest.find(';');
+      const std::string_view item = rest.substr(0, semi);
+      rest = semi == std::string_view::npos ? std::string_view()
+                                            : rest.substr(semi + 1);
+      const size_t eq = item.find('=');
+      if (eq == std::string_view::npos) continue;
+      Spec spec;
+      if (ParseSpec(item.substr(eq + 1), &spec)) {
+        PointState& state = points_[std::string(item.substr(0, eq))];
+        state.spec = spec;
+        state.hits = 0;
+      }
+    }
+  }
+
+  std::mutex mutex_;
+  std::unordered_map<std::string, PointState> points_;
+  uint64_t rng_state_ = 0x5DEECE66Dull;
+};
+
+bool ParseUint(std::string_view text, uint64_t* out) {
+  if (text.empty()) return false;
+  uint64_t value = 0;
+  for (char ch : text) {
+    if (ch < '0' || ch > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(ch - '0');
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+bool ParseSpec(std::string_view text, Spec* out) {
+  if (text == "off") {
+    *out = Spec::Off();
+    return true;
+  }
+  if (text == "always") {
+    *out = Spec::Always();
+    return true;
+  }
+  const size_t colon = text.find(':');
+  if (colon == std::string_view::npos) return false;
+  const std::string_view kind = text.substr(0, colon);
+  const std::string_view arg = text.substr(colon + 1);
+  if (kind == "nth" || kind == "first") {
+    uint64_t n = 0;
+    if (!ParseUint(arg, &n) || n == 0) return false;
+    *out = kind == "nth" ? Spec::Nth(n) : Spec::First(n);
+    return true;
+  }
+  if (kind == "prob") {
+    char* end = nullptr;
+    const std::string arg_str(arg);
+    const double p = std::strtod(arg_str.c_str(), &end);
+    if (end != arg_str.c_str() + arg_str.size() || p < 0.0 || p > 1.0) {
+      return false;
+    }
+    *out = Spec::Prob(p);
+    return true;
+  }
+  return false;
+}
+
+void Enable(std::string_view name, const Spec& spec) {
+  Registry::Instance().Enable(name, spec);
+}
+
+bool EnableFromString(std::string_view assignment) {
+  const size_t eq = assignment.find('=');
+  if (eq == std::string_view::npos) return false;
+  Spec spec;
+  if (!ParseSpec(assignment.substr(eq + 1), &spec)) return false;
+  Enable(assignment.substr(0, eq), spec);
+  return true;
+}
+
+void Disable(std::string_view name) { Registry::Instance().Disable(name); }
+
+void DisableAll() { Registry::Instance().DisableAll(); }
+
+uint64_t HitCount(std::string_view name) {
+  return Registry::Instance().HitCount(name);
+}
+
+std::vector<std::string> ActiveNames() {
+  return Registry::Instance().ActiveNames();
+}
+
+void SetSeed(uint64_t seed) { Registry::Instance().SetSeed(seed); }
+
+bool ShouldFail(std::string_view name) {
+  return Registry::Instance().ShouldFail(name);
+}
+
+}  // namespace failpoint
+}  // namespace adict

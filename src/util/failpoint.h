@@ -1,0 +1,88 @@
+// Named fail points for fault injection in tests and chaos runs.
+//
+// A fail point is a named site in the code that can be made to report
+// failure on demand:
+//
+//   if (ADICT_FAIL_POINT("repair.build")) {
+//     return Status::Internal("injected repair.build failure");
+//   }
+//
+// Points are inert (one registry lookup, no failure) until activated, either
+// programmatically —
+//
+//   failpoint::Enable("repair.build", "first:1");   // fail the first hit
+//
+// — or via the ADICT_FAILPOINTS environment variable, a semicolon-separated
+// list parsed on first use: `ADICT_FAILPOINTS="dict.load=prob:0.01;
+// repair.build=always"`.
+//
+// Trigger specs:
+//   off       never fires (but hits are still counted)
+//   always    every hit fires
+//   nth:N     only the Nth hit fires (1-based)
+//   first:N   hits 1..N fire, later hits pass
+//   prob:P    each hit fires with probability P (deterministic RNG; SetSeed)
+//
+// Hit counts are kept per point regardless of whether it is enabled, so
+// tests can assert a site was reached. The catalog of built-in points lives
+// in docs/robustness.md. All functions are thread-safe; fail points sit on
+// cold paths (build / merge / persistence), not per-operation hot paths.
+#ifndef ADICT_UTIL_FAILPOINT_H_
+#define ADICT_UTIL_FAILPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adict {
+namespace failpoint {
+
+struct Spec {
+  enum class Mode : uint8_t { kOff, kAlways, kNth, kFirst, kProb };
+  Mode mode = Mode::kOff;
+  uint64_t n = 0;           // kNth / kFirst
+  double probability = 0.0;  // kProb
+
+  static Spec Off() { return {}; }
+  static Spec Always() { return {Mode::kAlways, 0, 0.0}; }
+  static Spec Nth(uint64_t n) { return {Mode::kNth, n, 0.0}; }
+  static Spec First(uint64_t n) { return {Mode::kFirst, n, 0.0}; }
+  static Spec Prob(double p) { return {Mode::kProb, 0, p}; }
+};
+
+/// Parses "off" / "always" / "nth:3" / "first:2" / "prob:0.5". Returns false
+/// (leaving *out untouched) on malformed input.
+bool ParseSpec(std::string_view text, Spec* out);
+
+/// Activates `name` with `spec`, resetting its hit count.
+void Enable(std::string_view name, const Spec& spec);
+
+/// Activates from "name=spec" form; returns false on malformed input.
+bool EnableFromString(std::string_view assignment);
+
+/// Deactivates `name` (hit counting continues).
+void Disable(std::string_view name);
+
+/// Deactivates every point and zeroes all hit counts. For tests.
+void DisableAll();
+
+/// Hits recorded for `name` since process start or the last Enable/DisableAll.
+uint64_t HitCount(std::string_view name);
+
+/// Names with an active (non-off) spec, sorted.
+std::vector<std::string> ActiveNames();
+
+/// Reseeds the RNG behind prob: triggers. For tests.
+void SetSeed(uint64_t seed);
+
+/// Records a hit on `name` and returns true if the point fires. Prefer the
+/// ADICT_FAIL_POINT macro at call sites.
+bool ShouldFail(std::string_view name);
+
+}  // namespace failpoint
+}  // namespace adict
+
+#define ADICT_FAIL_POINT(name) (::adict::failpoint::ShouldFail(name))
+
+#endif  // ADICT_UTIL_FAILPOINT_H_

@@ -1,5 +1,12 @@
 // Minimal binary serialization primitives: little-endian, length-prefixed,
 // bounds-checked. Used for dictionary persistence.
+//
+// ByteReader has two overrun policies. The default (kAbort) treats an
+// overrun as a programming error and aborts, which is right for trusted
+// in-process buffers. kRecord is for untrusted images read back from disk:
+// an overrun marks the reader failed, every subsequent read returns
+// zero-valued data, and the caller checks ok() once at the end — corrupt
+// bytes can never take the process down (docs/robustness.md).
 #ifndef ADICT_UTIL_SERDE_H_
 #define ADICT_UTIL_SERDE_H_
 
@@ -27,6 +34,7 @@ class ByteWriter {
   }
 
   void WriteBytes(const void* data, size_t size) {
+    if (size == 0) return;  // empty vectors/strings have a null data()
     const size_t offset = out_->size();
     out_->resize(offset + size);
     std::memcpy(out_->data() + offset, data, size);
@@ -52,12 +60,21 @@ class ByteWriter {
 /// Bounds-checked byte source.
 class ByteReader {
  public:
-  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  /// Overrun policy: abort the process (trusted data, programming error) or
+  /// record the failure and keep returning zeroes (untrusted data).
+  enum class OnError { kAbort, kRecord };
+
+  ByteReader(const uint8_t* data, size_t size,
+             OnError on_error = OnError::kAbort)
+      : data_(data), size_(size), on_error_(on_error) {}
 
   template <typename T>
   T Read() {
     static_assert(std::is_trivially_copyable_v<T>);
-    ADICT_CHECK_MSG(pos_ + sizeof(T) <= size_, "serialized data truncated");
+    if (failed_ || sizeof(T) > size_ - pos_) {
+      Fail("serialized data truncated");
+      return T{};
+    }
     T value;
     std::memcpy(&value, data_ + pos_, sizeof(T));
     pos_ += sizeof(T);
@@ -65,7 +82,12 @@ class ByteReader {
   }
 
   void ReadBytes(void* out, size_t size) {
-    ADICT_CHECK_MSG(pos_ + size <= size_, "serialized data truncated");
+    if (size == 0) return;  // empty reads have null destinations
+    if (failed_ || size > size_ - pos_) {
+      Fail("serialized data truncated");
+      std::memset(out, 0, size);
+      return;
+    }
     std::memcpy(out, data_ + pos_, size);
     pos_ += size;
   }
@@ -74,8 +96,12 @@ class ByteReader {
   std::vector<T> ReadVector() {
     static_assert(std::is_trivially_copyable_v<T>);
     const uint64_t count = Read<uint64_t>();
-    ADICT_CHECK_MSG(pos_ + count * sizeof(T) <= size_,
-                    "serialized data truncated");
+    // Divide, don't multiply: count * sizeof(T) can wrap uint64 and sneak a
+    // huge allocation past the bound.
+    if (failed_ || count > (size_ - pos_) / sizeof(T)) {
+      Fail("serialized data truncated");
+      return {};
+    }
     std::vector<T> values(count);
     ReadBytes(values.data(), count * sizeof(T));
     return values;
@@ -83,18 +109,53 @@ class ByteReader {
 
   std::string ReadString() {
     const uint64_t count = Read<uint64_t>();
+    if (failed_ || count > size_ - pos_) {
+      Fail("serialized data truncated");
+      return {};
+    }
     std::string s(count, '\0');
     ReadBytes(s.data(), count);
     return s;
   }
 
+  /// Marks the reader failed (kRecord) or aborts (kAbort). Deserializers
+  /// call this for structural invariant violations so that corrupt images
+  /// are reported through the same channel as overruns.
+  void Fail(const char* msg) {
+    if (on_error_ == OnError::kAbort) {
+      ADICT_CHECK_MSG(false, msg);
+    }
+    failed_ = true;
+    pos_ = size_;  // fail fast: every later read overruns immediately
+  }
+
+  /// True once any read overran or Fail() was called (kRecord mode only;
+  /// kAbort never survives a failure).
+  bool failed() const { return failed_; }
+  bool ok() const { return !failed_; }
+
   size_t position() const { return pos_; }
+  size_t remaining() const { return size_ - pos_; }
   bool exhausted() const { return pos_ == size_; }
+
+  /// Pointer to the next unread byte.
+  const uint8_t* cursor() const { return data_ + pos_; }
+
+  /// Advances past `size` bytes (bounds-checked like a read).
+  void Skip(size_t size) {
+    if (failed_ || size > size_ - pos_) {
+      Fail("serialized data truncated");
+      return;
+    }
+    pos_ += size;
+  }
 
  private:
   const uint8_t* data_;
   size_t size_;
   size_t pos_ = 0;
+  OnError on_error_ = OnError::kAbort;
+  bool failed_ = false;
 };
 
 }  // namespace adict

@@ -1,0 +1,160 @@
+// No-exceptions error propagation for fallible paths (persistence, guarded
+// dictionary rebuilds).
+//
+// The library keeps ADICT_CHECK for programming errors; Status is for
+// *expected* runtime failures — corrupt bytes on disk, truncated images,
+// unwritable files, inputs a format cannot represent — which must never take
+// the process down. Functions that can fail return Status (or StatusOr<T>
+// when they produce a value); callers branch on ok() and walk a degradation
+// path instead of crashing (docs/robustness.md).
+#ifndef ADICT_UTIL_STATUS_H_
+#define ADICT_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "util/check.h"
+
+namespace adict {
+
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kCorruption,          ///< stored bytes fail integrity or invariant checks
+  kTruncated,           ///< stored bytes end before the structure does
+  kUnsupportedVersion,  ///< envelope version this build cannot read
+  kResourceExhausted,   ///< result would exceed a hard size/memory bound
+  kFailedPrecondition,  ///< input violates a format's build preconditions
+  kIoError,             ///< underlying file operation failed
+  kInternal,            ///< unexpected internal failure (incl. fail points)
+};
+
+std::string_view StatusCodeName(StatusCode code);
+
+/// Error code plus human-readable context. Cheap to move; an OK status
+/// carries no message.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string_view message)
+      : code_(code), message_(message) {}
+
+  static Status Ok() { return Status(); }
+  static Status Corruption(std::string_view m) {
+    return Status(StatusCode::kCorruption, m);
+  }
+  static Status Truncated(std::string_view m) {
+    return Status(StatusCode::kTruncated, m);
+  }
+  static Status UnsupportedVersion(std::string_view m) {
+    return Status(StatusCode::kUnsupportedVersion, m);
+  }
+  static Status ResourceExhausted(std::string_view m) {
+    return Status(StatusCode::kResourceExhausted, m);
+  }
+  static Status FailedPrecondition(std::string_view m) {
+    return Status(StatusCode::kFailedPrecondition, m);
+  }
+  static Status IoError(std::string_view m) {
+    return Status(StatusCode::kIoError, m);
+  }
+  static Status Internal(std::string_view m) {
+    return Status(StatusCode::kInternal, m);
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "CORRUPTION: checksum mismatch" / "OK".
+  std::string ToString() const {
+    std::string s(StatusCodeName(code_));
+    if (!message_.empty()) {
+      s += ": ";
+      s += message_;
+    }
+    return s;
+  }
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kCorruption:
+      return "CORRUPTION";
+    case StatusCode::kTruncated:
+      return "TRUNCATED";
+    case StatusCode::kUnsupportedVersion:
+      return "UNSUPPORTED_VERSION";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kIoError:
+      return "IO_ERROR";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+/// Either a value or a non-OK Status. Accessing the value of an errored
+/// StatusOr is a programming error (checked).
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from an error status (must not be OK: an OK StatusOr needs a
+  /// value).
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    ADICT_CHECK_MSG(!status_.ok(), "StatusOr built from OK status");
+  }
+  /// Implicit from a value.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    ADICT_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *value_;
+  }
+  const T& value() const& {
+    ADICT_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *value_;
+  }
+  T&& value() && {
+    ADICT_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *std::move(value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define ADICT_RETURN_IF_ERROR(expr)              \
+  do {                                           \
+    ::adict::Status adict_status_tmp_ = (expr);  \
+    if (!adict_status_tmp_.ok()) return adict_status_tmp_; \
+  } while (0)
+
+}  // namespace adict
+
+#endif  // ADICT_UTIL_STATUS_H_

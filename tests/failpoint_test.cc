@@ -1,0 +1,130 @@
+// Tests for the named fail-point registry (fault injection).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/failpoint.h"
+
+namespace adict {
+namespace {
+
+using failpoint::Spec;
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { failpoint::DisableAll(); }
+};
+
+TEST_F(FailpointTest, InertByDefaultButCounted) {
+  EXPECT_FALSE(ADICT_FAIL_POINT("test.inert"));
+  EXPECT_FALSE(ADICT_FAIL_POINT("test.inert"));
+  EXPECT_EQ(failpoint::HitCount("test.inert"), 2u);
+  EXPECT_EQ(failpoint::HitCount("test.never_hit"), 0u);
+}
+
+TEST_F(FailpointTest, AlwaysFiresEveryHit) {
+  failpoint::Enable("test.always", Spec::Always());
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(ADICT_FAIL_POINT("test.always"));
+  EXPECT_EQ(failpoint::HitCount("test.always"), 3u);
+}
+
+TEST_F(FailpointTest, NthFiresExactlyOnce) {
+  failpoint::Enable("test.nth", Spec::Nth(3));
+  EXPECT_FALSE(ADICT_FAIL_POINT("test.nth"));
+  EXPECT_FALSE(ADICT_FAIL_POINT("test.nth"));
+  EXPECT_TRUE(ADICT_FAIL_POINT("test.nth"));
+  EXPECT_FALSE(ADICT_FAIL_POINT("test.nth"));
+}
+
+TEST_F(FailpointTest, FirstFiresLeadingHits) {
+  failpoint::Enable("test.first", Spec::First(2));
+  EXPECT_TRUE(ADICT_FAIL_POINT("test.first"));
+  EXPECT_TRUE(ADICT_FAIL_POINT("test.first"));
+  EXPECT_FALSE(ADICT_FAIL_POINT("test.first"));
+}
+
+TEST_F(FailpointTest, ProbZeroNeverFiresProbOneAlwaysFires) {
+  failpoint::SetSeed(7);
+  failpoint::Enable("test.p0", Spec::Prob(0.0));
+  failpoint::Enable("test.p1", Spec::Prob(1.0));
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(ADICT_FAIL_POINT("test.p0"));
+    EXPECT_TRUE(ADICT_FAIL_POINT("test.p1"));
+  }
+}
+
+TEST_F(FailpointTest, ProbHalfFiresSometimes) {
+  failpoint::SetSeed(42);
+  failpoint::Enable("test.p50", Spec::Prob(0.5));
+  int fired = 0;
+  for (int i = 0; i < 200; ++i) fired += ADICT_FAIL_POINT("test.p50");
+  EXPECT_GT(fired, 50);
+  EXPECT_LT(fired, 150);
+}
+
+TEST_F(FailpointTest, DisableStopsFiringKeepsCounting) {
+  failpoint::Enable("test.dis", Spec::Always());
+  EXPECT_TRUE(ADICT_FAIL_POINT("test.dis"));
+  failpoint::Disable("test.dis");
+  EXPECT_FALSE(ADICT_FAIL_POINT("test.dis"));
+  EXPECT_GE(failpoint::HitCount("test.dis"), 1u);
+}
+
+TEST_F(FailpointTest, EnableResetsHitCount) {
+  (void)ADICT_FAIL_POINT("test.reset");
+  (void)ADICT_FAIL_POINT("test.reset");
+  failpoint::Enable("test.reset", Spec::Nth(1));
+  EXPECT_EQ(failpoint::HitCount("test.reset"), 0u);
+  EXPECT_TRUE(ADICT_FAIL_POINT("test.reset"));  // hit 1 after the reset
+}
+
+TEST_F(FailpointTest, ParseSpecAcceptsCatalog) {
+  Spec spec;
+  ASSERT_TRUE(failpoint::ParseSpec("off", &spec));
+  EXPECT_EQ(spec.mode, Spec::Mode::kOff);
+  ASSERT_TRUE(failpoint::ParseSpec("always", &spec));
+  EXPECT_EQ(spec.mode, Spec::Mode::kAlways);
+  ASSERT_TRUE(failpoint::ParseSpec("nth:4", &spec));
+  EXPECT_EQ(spec.mode, Spec::Mode::kNth);
+  EXPECT_EQ(spec.n, 4u);
+  ASSERT_TRUE(failpoint::ParseSpec("first:2", &spec));
+  EXPECT_EQ(spec.mode, Spec::Mode::kFirst);
+  EXPECT_EQ(spec.n, 2u);
+  ASSERT_TRUE(failpoint::ParseSpec("prob:0.25", &spec));
+  EXPECT_EQ(spec.mode, Spec::Mode::kProb);
+  EXPECT_DOUBLE_EQ(spec.probability, 0.25);
+}
+
+TEST_F(FailpointTest, ParseSpecRejectsGarbage) {
+  Spec spec;
+  EXPECT_FALSE(failpoint::ParseSpec("", &spec));
+  EXPECT_FALSE(failpoint::ParseSpec("sometimes", &spec));
+  EXPECT_FALSE(failpoint::ParseSpec("nth:", &spec));
+  EXPECT_FALSE(failpoint::ParseSpec("nth:x", &spec));
+  EXPECT_FALSE(failpoint::ParseSpec("prob:2", &spec));
+  EXPECT_FALSE(failpoint::ParseSpec("prob:-0.5", &spec));
+}
+
+TEST_F(FailpointTest, EnableFromStringAndActiveNames) {
+  EXPECT_TRUE(failpoint::EnableFromString("test.env=first:1"));
+  EXPECT_FALSE(failpoint::EnableFromString("missing-equals"));
+  EXPECT_FALSE(failpoint::EnableFromString("test.bad=banana"));
+  const std::vector<std::string> active = failpoint::ActiveNames();
+  ASSERT_EQ(active.size(), 1u);
+  EXPECT_EQ(active[0], "test.env");
+  EXPECT_TRUE(ADICT_FAIL_POINT("test.env"));
+  EXPECT_FALSE(ADICT_FAIL_POINT("test.env"));
+}
+
+TEST_F(FailpointTest, DisableAllClearsEverything) {
+  failpoint::Enable("test.a", Spec::Always());
+  failpoint::Enable("test.b", Spec::Always());
+  failpoint::DisableAll();
+  EXPECT_TRUE(failpoint::ActiveNames().empty());
+  EXPECT_FALSE(ADICT_FAIL_POINT("test.a"));
+  EXPECT_EQ(failpoint::HitCount("test.b"), 0u);
+}
+
+}  // namespace
+}  // namespace adict

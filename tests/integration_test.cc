@@ -57,7 +57,9 @@ TEST(Integration, LifecycleAcrossMergesAndFormatChanges) {
     ByteWriter writer(&buffer);
     column.Serialize(&writer);
     ByteReader reader(buffer.data(), buffer.size());
-    column = StringColumn::Deserialize(&reader);
+    StatusOr<StringColumn> loaded = StringColumn::Deserialize(&reader);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    column = std::move(loaded).value();
 
     // Full consistency check.
     ASSERT_EQ(column.num_rows(), expected_rows.size());
@@ -94,7 +96,9 @@ TEST(Integration, PredicateResultsStableAcrossFormatsAndSerialization) {
     ByteWriter writer(&buffer);
     column.Serialize(&writer);
     ByteReader reader(buffer.data(), buffer.size());
-    const StringColumn loaded = StringColumn::Deserialize(&reader);
+    StatusOr<StringColumn> loaded_or = StringColumn::Deserialize(&reader);
+    ASSERT_TRUE(loaded_or.ok()) << loaded_or.status().ToString();
+    const StringColumn loaded = std::move(loaded_or).value();
     ASSERT_EQ(SelectRows(loaded, EqIds(loaded, probe)), baseline)
         << DictFormatName(format);
   }

@@ -71,6 +71,52 @@ TEST(Serde, TruncatedVectorAborts) {
   EXPECT_DEATH(reader.ReadVector<uint32_t>(), "truncated");
 }
 
+TEST(Serde, RecordingReaderSurvivesTruncatedRead) {
+  // In kRecord mode an overrun is recorded, not fatal: reads return zeroes
+  // and the reader fails fast to the end of the buffer.
+  std::vector<uint8_t> buffer;
+  ByteWriter writer(&buffer);
+  writer.Write<uint32_t>(7);
+  ByteReader reader(buffer.data(), 2, ByteReader::OnError::kRecord);
+  EXPECT_EQ(reader.Read<uint32_t>(), 0u);
+  EXPECT_TRUE(reader.failed());
+  EXPECT_FALSE(reader.ok());
+  EXPECT_EQ(reader.remaining(), 0u);
+  EXPECT_EQ(reader.Read<uint64_t>(), 0u);  // still safe after failure
+}
+
+TEST(Serde, RecordingReaderSurvivesOversizedVector) {
+  std::vector<uint8_t> buffer;
+  ByteWriter writer(&buffer);
+  writer.Write<uint64_t>(1000);  // claims 1000 elements, provides none
+  ByteReader reader(buffer.data(), buffer.size(), ByteReader::OnError::kRecord);
+  EXPECT_TRUE(reader.ReadVector<uint32_t>().empty());
+  EXPECT_TRUE(reader.failed());
+}
+
+TEST(Serde, RecordingReaderSurvivesOverflowingVectorCount) {
+  // A count chosen so that count * sizeof(T) wraps uint64 must not pass the
+  // bounds check.
+  std::vector<uint8_t> buffer;
+  ByteWriter writer(&buffer);
+  writer.Write<uint64_t>(0x4000000000000001ull);
+  ByteReader reader(buffer.data(), buffer.size(), ByteReader::OnError::kRecord);
+  EXPECT_TRUE(reader.ReadVector<uint32_t>().empty());
+  EXPECT_TRUE(reader.failed());
+}
+
+TEST(Serde, RecordingReaderCleanPathMatchesAbortMode) {
+  std::vector<uint8_t> buffer;
+  ByteWriter writer(&buffer);
+  writer.Write<uint32_t>(0xdeadbeef);
+  writer.WriteString("hello");
+  ByteReader reader(buffer.data(), buffer.size(), ByteReader::OnError::kRecord);
+  EXPECT_EQ(reader.Read<uint32_t>(), 0xdeadbeefu);
+  EXPECT_EQ(reader.ReadString(), "hello");
+  EXPECT_TRUE(reader.ok());
+  EXPECT_TRUE(reader.exhausted());
+}
+
 TEST(Serde, RandomizedMixedRoundtrip) {
   Rng rng(9);
   for (int round = 0; round < 20; ++round) {

@@ -1,13 +1,16 @@
 // Tests for dictionary and column persistence.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "datasets/generators.h"
 #include "dict/serialization.h"
 #include "store/string_column.h"
+#include "util/crc32.h"
 #include "util/rng.h"
 
 namespace adict {
@@ -21,7 +24,9 @@ TEST_P(SerializationFormatTest, RoundtripPreservesEverything) {
 
   std::vector<uint8_t> buffer;
   SaveDictionary(*original, &buffer);
-  auto loaded = LoadDictionary(buffer);
+  StatusOr<std::unique_ptr<Dictionary>> loaded_or = LoadDictionary(buffer);
+  ASSERT_TRUE(loaded_or.ok()) << loaded_or.status().ToString();
+  const std::unique_ptr<Dictionary>& loaded = *loaded_or;
   ASSERT_NE(loaded, nullptr);
 
   EXPECT_EQ(loaded->format(), original->format());
@@ -45,9 +50,10 @@ TEST_P(SerializationFormatTest, RedundantTextRoundtrip) {
   auto original = BuildDictionary(GetParam(), sorted);
   std::vector<uint8_t> buffer;
   SaveDictionary(*original, &buffer);
-  auto loaded = LoadDictionary(buffer);
-  for (uint32_t id = 0; id < loaded->size(); id += 7) {
-    ASSERT_EQ(loaded->Extract(id), sorted[id]);
+  StatusOr<std::unique_ptr<Dictionary>> loaded = LoadDictionary(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  for (uint32_t id = 0; id < (*loaded)->size(); id += 7) {
+    ASSERT_EQ((*loaded)->Extract(id), sorted[id]);
   }
 }
 
@@ -74,33 +80,111 @@ TEST(Serialization, FileRoundtrip) {
   const std::vector<std::string> sorted = {"alpha", "beta", "gamma"};
   auto dict = BuildDictionary(DictFormat::kFcBlock, sorted);
   const std::string path = ::testing::TempDir() + "/adict_dict.bin";
-  ASSERT_TRUE(SaveDictionaryToFile(*dict, path));
-  auto loaded = LoadDictionaryFromFile(path);
-  ASSERT_NE(loaded, nullptr);
-  EXPECT_EQ(loaded->Extract(1), "beta");
+  ASSERT_TRUE(SaveDictionaryToFile(*dict, path).ok());
+  StatusOr<std::unique_ptr<Dictionary>> loaded = LoadDictionaryFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->Extract(1), "beta");
   std::remove(path.c_str());
 }
 
-TEST(Serialization, MissingFileReturnsNull) {
-  EXPECT_EQ(LoadDictionaryFromFile("/nonexistent/adict.bin"), nullptr);
+TEST(Serialization, MissingFileReportsIoError) {
+  const StatusOr<std::unique_ptr<Dictionary>> loaded =
+      LoadDictionaryFromFile("/nonexistent/adict.bin");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
 }
 
-TEST(Serialization, CorruptMagicAborts) {
+TEST(Serialization, SaveToUnwritablePathReportsIoError) {
+  // Regression: fopen/fwrite/fclose failures must surface, not be dropped.
+  const std::vector<std::string> sorted = {"a", "b"};
+  auto dict = BuildDictionary(DictFormat::kArray, sorted);
+  const Status status =
+      SaveDictionaryToFile(*dict, "/nonexistent-dir/adict.bin");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+}
+
+TEST(Serialization, CorruptMagicIsRejectedNotFatal) {
   const std::vector<std::string> sorted = {"a", "b"};
   auto dict = BuildDictionary(DictFormat::kArray, sorted);
   std::vector<uint8_t> buffer;
   SaveDictionary(*dict, &buffer);
   buffer[0] ^= 0xff;
-  EXPECT_DEATH(LoadDictionary(buffer), "bad dictionary magic");
+  const StatusOr<std::unique_ptr<Dictionary>> loaded = LoadDictionary(buffer);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
 }
 
-TEST(Serialization, TruncatedBufferAborts) {
+TEST(Serialization, TruncatedBufferIsRejectedNotFatal) {
+  // Replaces the former TruncatedBufferAborts death test: a truncated image
+  // must produce a Status, never an abort.
   const std::vector<std::string> sorted = GenerateSurveyDataset("engl", 200, 5);
   auto dict = BuildDictionary(DictFormat::kArrayHu, sorted);
   std::vector<uint8_t> buffer;
   SaveDictionary(*dict, &buffer);
   buffer.resize(buffer.size() / 2);
-  EXPECT_DEATH(LoadDictionary(buffer), "truncated");
+  const StatusOr<std::unique_ptr<Dictionary>> loaded = LoadDictionary(buffer);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kTruncated);
+}
+
+TEST(Serialization, UnknownVersionIsRejected) {
+  const std::vector<std::string> sorted = {"a", "b"};
+  auto dict = BuildDictionary(DictFormat::kArray, sorted);
+  std::vector<uint8_t> buffer;
+  SaveDictionary(*dict, &buffer);
+  buffer[4] = 0x7f;  // version field low byte
+  const StatusOr<std::unique_ptr<Dictionary>> loaded = LoadDictionary(buffer);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kUnsupportedVersion);
+}
+
+TEST(Serialization, OutOfRangeFormatTagIsRejected) {
+  // The tag must be range-validated before dispatch; with the checksum
+  // recomputed, only the explicit tag check can reject this image.
+  const std::vector<std::string> sorted = {"a", "b"};
+  auto dict = BuildDictionary(DictFormat::kArray, sorted);
+
+  // Rebuild the envelope by hand with a bogus tag (100) and a valid CRC.
+  std::vector<uint8_t> payload;
+  ByteWriter payload_writer(&payload);
+  dict->Serialize(&payload_writer);
+  std::vector<uint8_t> buffer;
+  ByteWriter writer(&buffer);
+  writer.Write<uint32_t>(0x43494441u);
+  writer.Write<uint16_t>(2);
+  const size_t checksummed_from = buffer.size();
+  writer.Write<uint16_t>(100);
+  writer.Write<uint64_t>(payload.size());
+  Crc32 crc;
+  crc.Update(buffer.data() + checksummed_from, buffer.size() - checksummed_from);
+  crc.Update(payload.data(), payload.size());
+  writer.Write<uint32_t>(crc.value());
+  writer.WriteBytes(payload.data(), payload.size());
+
+  const StatusOr<std::unique_ptr<Dictionary>> loaded = LoadDictionary(buffer);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST(Serialization, LegacyV1ImageStillLoads) {
+  // Backward compatibility: v1 images (no length / checksum) load with a
+  // warning; see docs/robustness.md for the policy.
+  const std::vector<std::string> sorted = GenerateSurveyDataset("mat", 500, 9);
+  auto dict = BuildDictionary(DictFormat::kFcBlockHu, sorted);
+  std::vector<uint8_t> buffer;
+  ByteWriter writer(&buffer);
+  writer.Write<uint32_t>(0x43494441u);
+  writer.Write<uint16_t>(1);
+  writer.Write<uint16_t>(static_cast<uint16_t>(dict->format()));
+  dict->Serialize(&writer);
+
+  StatusOr<std::unique_ptr<Dictionary>> loaded = LoadDictionary(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ((*loaded)->size(), dict->size());
+  for (uint32_t id = 0; id < dict->size(); id += 13) {
+    ASSERT_EQ((*loaded)->Extract(id), sorted[id]);
+  }
 }
 
 TEST(StringColumnSerialization, RoundtripKeepsRowsAndFormat) {
@@ -116,13 +200,28 @@ TEST(StringColumnSerialization, RoundtripKeepsRowsAndFormat) {
   column.Serialize(&writer);
 
   ByteReader reader(buffer.data(), buffer.size());
-  const StringColumn loaded = StringColumn::Deserialize(&reader);
+  StatusOr<StringColumn> loaded_or = StringColumn::Deserialize(&reader);
+  ASSERT_TRUE(loaded_or.ok()) << loaded_or.status().ToString();
+  const StringColumn loaded = std::move(loaded_or).value();
   EXPECT_TRUE(reader.exhausted());
   EXPECT_EQ(loaded.format(), DictFormat::kFcBlockBc);
   ASSERT_EQ(loaded.num_rows(), values.size());
   for (size_t row = 0; row < values.size(); row += 17) {
     ASSERT_EQ(loaded.GetValue(row), values[row]);
   }
+}
+
+TEST(StringColumnSerialization, CorruptDictionaryReportsStatus) {
+  const StringColumn column = StringColumn::FromValues(
+      std::vector<std::string>{"x", "y", "z"}, DictFormat::kArray);
+  std::vector<uint8_t> buffer;
+  ByteWriter writer(&buffer);
+  column.Serialize(&writer);
+  buffer[8 + 10] ^= 0xff;  // inside the nested dictionary envelope
+  ByteReader reader(buffer.data(), buffer.size(),
+                    ByteReader::OnError::kRecord);
+  const StatusOr<StringColumn> loaded = StringColumn::Deserialize(&reader);
+  ASSERT_FALSE(loaded.ok());
 }
 
 }  // namespace

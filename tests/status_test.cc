@@ -1,0 +1,140 @@
+// Tests for the Status/StatusOr error-propagation primitives and CRC-32.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/crc32.h"
+#include "util/status.h"
+
+namespace adict {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  const Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.message(), "");
+  EXPECT_EQ(status.ToString(), "OK");
+  EXPECT_EQ(status, Status::Ok());
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode code;
+    std::string_view name;
+  };
+  const Case cases[] = {
+      {Status::Corruption("m"), StatusCode::kCorruption, "CORRUPTION"},
+      {Status::Truncated("m"), StatusCode::kTruncated, "TRUNCATED"},
+      {Status::UnsupportedVersion("m"), StatusCode::kUnsupportedVersion,
+       "UNSUPPORTED_VERSION"},
+      {Status::ResourceExhausted("m"), StatusCode::kResourceExhausted,
+       "RESOURCE_EXHAUSTED"},
+      {Status::FailedPrecondition("m"), StatusCode::kFailedPrecondition,
+       "FAILED_PRECONDITION"},
+      {Status::IoError("m"), StatusCode::kIoError, "IO_ERROR"},
+      {Status::Internal("m"), StatusCode::kInternal, "INTERNAL"},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_EQ(c.status.message(), "m");
+    EXPECT_EQ(c.status.ToString(), std::string(c.name) + ": m");
+    EXPECT_EQ(StatusCodeName(c.code), c.name);
+  }
+}
+
+TEST(StatusOr, HoldsValue) {
+  StatusOr<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.status().ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+  result.value() = 7;
+  EXPECT_EQ(*result, 7);
+}
+
+TEST(StatusOr, HoldsError) {
+  const StatusOr<int> result = Status::Corruption("bad bytes");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+  EXPECT_EQ(result.status().message(), "bad bytes");
+}
+
+TEST(StatusOr, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> result = std::make_unique<int>(5);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(**result, 5);
+  std::unique_ptr<int> moved = std::move(result).value();
+  EXPECT_EQ(*moved, 5);
+}
+
+TEST(StatusOr, ArrowReachesMembers) {
+  StatusOr<std::string> result = std::string("hello");
+  EXPECT_EQ(result->size(), 5u);
+}
+
+TEST(StatusOrDeathTest, AccessingErrorValueIsFatal) {
+  const StatusOr<int> result = Status::Truncated("cut");
+  EXPECT_DEATH((void)result.value(), "TRUNCATED");
+}
+
+TEST(StatusOrDeathTest, OkStatusIsNotAValue) {
+  EXPECT_DEATH(StatusOr<int>{Status::Ok()}, "OK status");
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::FailedPrecondition("negative");
+  return Status::Ok();
+}
+
+Status Chain(int x, bool* reached_end) {
+  ADICT_RETURN_IF_ERROR(FailIfNegative(x));
+  *reached_end = true;
+  return Status::Ok();
+}
+
+TEST(Status, ReturnIfErrorPropagates) {
+  bool reached_end = false;
+  EXPECT_EQ(Chain(-1, &reached_end).code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(reached_end);
+  EXPECT_TRUE(Chain(1, &reached_end).ok());
+  EXPECT_TRUE(reached_end);
+}
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE, reflected) — the envelope checksum.
+
+TEST(Crc32, KnownVectors) {
+  // The standard check value for CRC-32/ISO-HDLC.
+  EXPECT_EQ(Crc32Of("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32Of("", 0), 0x00000000u);
+  EXPECT_EQ(Crc32Of("a", 1), 0xE8B7BE43u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  Crc32 crc;
+  for (char ch : data) crc.Update(&ch, 1);
+  EXPECT_EQ(crc.value(), Crc32Of(data.data(), data.size()));
+}
+
+TEST(Crc32, DetectsSingleBitFlips) {
+  std::vector<uint8_t> data(64);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<uint8_t>(i);
+  const uint32_t baseline = Crc32Of(data.data(), data.size());
+  for (size_t byte = 0; byte < data.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      data[byte] ^= static_cast<uint8_t>(1 << bit);
+      EXPECT_NE(Crc32Of(data.data(), data.size()), baseline)
+          << "byte " << byte << " bit " << bit;
+      data[byte] ^= static_cast<uint8_t>(1 << bit);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace adict
