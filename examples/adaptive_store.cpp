@@ -7,7 +7,15 @@
 // controller adjusts from (simulated) memory pressure.
 //
 //   $ ./build/examples/adaptive_store
+//   $ ./build/examples/adaptive_store --trace /tmp/adict.trace.json
+//
+// With --trace, span tracing is enabled for the run and the file receives
+// Chrome trace_event JSON — open it in https://ui.perfetto.dev or
+// chrome://tracing to see where the time inside each merge went (sampling,
+// model evaluation, candidate build, validation). A per-span summary is
+// printed at the end of the run.
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -15,6 +23,7 @@
 #include "datasets/generators.h"
 #include "obs/export.h"
 #include "obs/obs.h"
+#include "obs/trace.h"
 #include "store/delta.h"
 #include "store/string_column.h"
 #include "util/rng.h"
@@ -44,7 +53,18 @@ void PrintState(const std::vector<ManagedColumn*>& columns, double c) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const char* trace_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: adaptive_store [--trace FILE]\n");
+      return 2;
+    }
+  }
+  if (trace_path != nullptr) obs::SetTraceEnabled(true);
+
   Rng rng(7);
   std::vector<ManagedColumn> columns;
   columns.push_back({"hot_mat", "mat", 200000, StringColumn(), DeltaColumn()});
@@ -131,5 +151,22 @@ int main() {
   std::printf("%s", obs::DecisionLogToText(obs::Decisions(),
                                            /*max_entries=*/9).c_str());
   std::printf("%s", obs::MetricsToText(obs::Metrics()).c_str());
+
+  if (trace_path != nullptr) {
+    const std::vector<obs::TraceEvent> events = obs::Trace().Snapshot();
+    const std::string json = obs::TraceToChromeJson(events);
+    if (std::FILE* f = std::fopen(trace_path, "w")) {
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::printf("\nwrote %zu spans to %s (open in ui.perfetto.dev)\n",
+                  events.size(), trace_path);
+    } else {
+      std::fprintf(stderr, "cannot write trace to %s\n", trace_path);
+      return 2;
+    }
+    std::printf("%s",
+                obs::TraceSummaryToText(events, obs::Trace().dropped())
+                    .c_str());
+  }
   return 0;
 }

@@ -4,6 +4,7 @@
 #include <array>
 
 #include "obs/obs.h"
+#include "obs/trace.h"
 #include "util/failpoint.h"
 
 namespace adict {
@@ -54,6 +55,7 @@ Status ValidateDictionary(const Dictionary& dict,
                           std::span<const std::string> sorted_unique,
                           const GuardOptions& options,
                           bool check_size_prediction) {
+  ADICT_TRACE_SPAN("guard.validate");
   if (ADICT_FAIL_POINT("dict.validate")) {
     return Status::Corruption("injected dict.validate failure");
   }
@@ -96,6 +98,7 @@ Status ValidateDictionary(const Dictionary& dict,
 StatusOr<GuardedBuildResult> BuildDictionaryGuarded(
     DictFormat format, std::span<const std::string> sorted_unique,
     const GuardOptions& options) {
+  ADICT_TRACE_SPAN("guard.build");
   // Degradation chain (docs/robustness.md): the decided format, then the
   // paper's robust mid-point (blockwise front coding, raw suffixes), then
   // the format that cannot fail on valid input.

@@ -4,6 +4,7 @@
 
 #include "core/build_guard.h"
 #include "obs/obs.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace adict {
@@ -76,6 +77,7 @@ uint64_t LogFormatDecision(std::string_view column_id,
 FormatDecision CompressionManager::ChooseFormatLogged(
     std::span<const std::string> sorted_unique, const ColumnUsage& usage,
     std::string_view column_id) const {
+  ADICT_TRACE_SPAN("manager.choose_format");
   obs::ScopedTimer timer(
       obs::Enabled() ? obs::Metrics().GetHistogram(
                            "manager.choose_format_us", {}, "us",
@@ -83,10 +85,17 @@ FormatDecision CompressionManager::ChooseFormatLogged(
                      : nullptr);
   const DictionaryProperties props =
       SampleProperties(sorted_unique, options_.sampling);
-  const std::vector<Candidate> candidates =
-      EvaluateCandidates(props, usage, cost_model_);
-  const SelectionDetails details =
-      SelectFormatDetailed(candidates, controller_.c(), options_.strategy);
+  std::vector<Candidate> candidates;
+  {
+    ADICT_TRACE_SPAN("manager.evaluate_candidates");
+    candidates = EvaluateCandidates(props, usage, cost_model_);
+  }
+  SelectionDetails details;
+  {
+    ADICT_TRACE_SPAN("manager.select_format");
+    details = SelectFormatDetailed(candidates, controller_.c(),
+                                   options_.strategy);
+  }
   const uint64_t sequence =
       LogFormatDecision(column_id, props, usage, candidates, details,
                         controller_.c(), options_.strategy);

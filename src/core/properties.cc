@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "dict/column_bc.h"
 #include "dict/front_coding.h"
 #include "obs/obs.h"
+#include "obs/trace.h"
 #include "text/codec.h"
 #include "text/ngram.h"
 #include "text/repair.h"
@@ -126,6 +128,7 @@ RePairResult RePairRate(const std::vector<std::string_view>& views,
 DictionaryProperties SampleProperties(std::span<const std::string> sorted_unique,
                                       const SamplingConfig& config,
                                       uint64_t seed) {
+  ADICT_TRACE_SPAN("props.sample_properties");
   obs::ScopedTimer timer(
       obs::Enabled()
           ? obs::Metrics().GetHistogram(
@@ -146,37 +149,44 @@ DictionaryProperties SampleProperties(std::span<const std::string> sorted_unique
   // ------------------------------------------------------------------
   // String-granular sample (array-class properties).
   // ------------------------------------------------------------------
-  std::vector<uint32_t> indices = SampleIndices(n, want, &rng);
   std::vector<std::string_view> sample;
-  sample.reserve(indices.size());
   CharStats chars;
-  for (uint32_t i : indices) {
-    const std::string_view s = sorted_unique[i];
-    sample.push_back(s);
-    chars.Add(s);
-    props.max_string_len = std::max<uint64_t>(props.max_string_len, s.size());
+  {
+    ADICT_TRACE_SPAN("props.sample_strings");
+    const std::vector<uint32_t> indices = SampleIndices(n, want, &rng);
+    sample.reserve(indices.size());
+    for (uint32_t i : indices) {
+      const std::string_view s = sorted_unique[i];
+      sample.push_back(s);
+      chars.Add(s);
+      props.max_string_len = std::max<uint64_t>(props.max_string_len, s.size());
+    }
   }
   const double scale = static_cast<double>(n) / want;
   props.raw_chars = static_cast<double>(chars.total_chars) * scale;
   props.distinct_chars = chars.DistinctChars();
   props.entropy0 = chars.Entropy0();
-  const CoverageResult ng2 = NgramCoverage(sample, 2);
-  const CoverageResult ng3 = NgramCoverage(sample, 3);
-  props.ng2_coverage = ng2.coverage;
-  props.ng3_coverage = ng3.coverage;
-  props.ng2_table_grams = ng2.table_grams;
-  props.ng3_table_grams = ng3.table_grams;
-  const RePairResult rp12 = RePairRate(sample, 12);
-  const RePairResult rp16 = RePairRate(sample, 16);
-  props.rp12_rate = rp12.rate;
-  props.rp16_rate = rp16.rate;
-  props.rp12_rules = rp12.rules;
-  props.rp16_rules = rp16.rules;
+  {
+    ADICT_TRACE_SPAN("props.measure_strings");
+    const CoverageResult ng2 = NgramCoverage(sample, 2);
+    const CoverageResult ng3 = NgramCoverage(sample, 3);
+    props.ng2_coverage = ng2.coverage;
+    props.ng3_coverage = ng3.coverage;
+    props.ng2_table_grams = ng2.table_grams;
+    props.ng3_table_grams = ng3.table_grams;
+    const RePairResult rp12 = RePairRate(sample, 12);
+    const RePairResult rp16 = RePairRate(sample, 16);
+    props.rp12_rate = rp12.rate;
+    props.rp16_rate = rp16.rate;
+    props.rp12_rules = rp12.rules;
+    props.rp16_rules = rp16.rules;
+  }
 
   // ------------------------------------------------------------------
   // Block-granular sample (front-coding properties). Blocks keep their
   // dictionary-order boundaries; we sample whole blocks.
   // ------------------------------------------------------------------
+  std::optional<obs::ScopedSpan> fc_span("props.measure_fc_blocks");
   constexpr uint32_t kFcBlock = FcBlockDict::kBlockSize;
   const uint64_t num_fc_blocks = (n + kFcBlock - 1) / kFcBlock;
   const uint64_t want_fc_blocks =
@@ -229,10 +239,12 @@ DictionaryProperties SampleProperties(std::span<const std::string> sorted_unique
   props.fc_rp12_rules = fc_rp12.rules;
   props.fc_rp16_rules = fc_rp16.rules;
   props.fc_inline_header_chars = static_cast<double>(fc_inline_header) * fc_scale;
+  fc_span.reset();
 
   // ------------------------------------------------------------------
   // Column-bc blocks: encode sampled blocks, average their size.
   // ------------------------------------------------------------------
+  ADICT_TRACE_SPAN("props.measure_colbc_blocks");
   constexpr uint32_t kCbBlock = ColumnBcDict::kBlockSize;
   const uint64_t num_cb_blocks = (n + kCbBlock - 1) / kCbBlock;
   const uint64_t want_cb_blocks =

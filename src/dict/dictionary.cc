@@ -7,6 +7,7 @@
 #include "dict/column_bc.h"
 #include "dict/front_coding.h"
 #include "obs/obs.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace adict {
@@ -236,6 +237,7 @@ Status CheckBuildPreconditions(DictFormat format,
 
 std::unique_ptr<Dictionary> BuildDictionary(
     DictFormat format, std::span<const std::string> sorted_unique) {
+  ADICT_TRACE_SPAN("dict.build");
   if (!obs::Enabled()) return BuildDictionaryImpl(format, sorted_unique);
 
   static obs::Counter* builds = obs::Metrics().GetCounter(

@@ -1,9 +1,12 @@
 #include "engine/scan.h"
 
+#include "obs/trace.h"
+
 namespace adict {
 
 std::vector<uint32_t> SelectRows(const StringColumn& column,
                                  const IdRange& range) {
+  ADICT_TRACE_SPAN("engine.select_rows");
   std::vector<uint32_t> rows;
   if (range.empty()) return rows;
   const uint64_t n = column.num_rows();
@@ -17,6 +20,7 @@ std::vector<uint32_t> SelectRows(const StringColumn& column,
 
 std::vector<uint32_t> SelectRows(const StringColumn& column,
                                  const std::vector<bool>& id_flags) {
+  ADICT_TRACE_SPAN("engine.select_rows");
   std::vector<uint32_t> rows;
   const uint64_t n = column.num_rows();
   for (uint64_t row = 0; row < n; ++row) {
@@ -30,6 +34,7 @@ std::vector<uint32_t> SelectRows(const StringColumn& column,
 std::vector<uint32_t> RefineRows(const StringColumn& column,
                                  const std::vector<uint32_t>& rows,
                                  const IdRange& range) {
+  ADICT_TRACE_SPAN("engine.refine_rows");
   std::vector<uint32_t> refined;
   if (range.empty()) return refined;
   for (uint32_t row : rows) {

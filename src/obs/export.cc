@@ -129,6 +129,79 @@ std::string MetricsToJson(const MetricsRegistry& registry) {
   return out;
 }
 
+namespace {
+
+// Prometheus metric names allow [a-zA-Z0-9_:] with a non-digit first char.
+std::string SanitizePrometheusName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (char ch : name) {
+    const bool valid = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                       (ch >= '0' && ch <= '9') || ch == '_' || ch == ':';
+    out.push_back(valid ? ch : '_');
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+// HELP text: the exposition format escapes backslash and newline.
+void AppendPrometheusHelp(std::string* out, std::string_view help) {
+  for (char ch : help) {
+    if (ch == '\\') {
+      out->append("\\\\");
+    } else if (ch == '\n') {
+      out->append("\\n");
+    } else {
+      out->push_back(ch);
+    }
+  }
+}
+
+}  // namespace
+
+std::string ExportPrometheusText(const MetricsRegistry& registry) {
+  std::string out;
+  for (const MetricsRegistry::Entry* entry : registry.Entries()) {
+    const std::string name = SanitizePrometheusName(entry->name);
+    if (!entry->help.empty()) {
+      Appendf(&out, "# HELP %s ", name.c_str());
+      AppendPrometheusHelp(&out, entry->help);
+      out.push_back('\n');
+    }
+    switch (entry->type) {
+      case MetricType::kCounter:
+        Appendf(&out, "# TYPE %s counter\n", name.c_str());
+        Appendf(&out, "%s %" PRIu64 "\n", name.c_str(),
+                entry->counter->value());
+        break;
+      case MetricType::kGauge:
+        Appendf(&out, "# TYPE %s gauge\n", name.c_str());
+        Appendf(&out, "%s %.17g\n", name.c_str(), entry->gauge->value());
+        break;
+      case MetricType::kHistogram: {
+        const Histogram& h = *entry->histogram;
+        Appendf(&out, "# TYPE %s histogram\n", name.c_str());
+        const std::vector<uint64_t> counts = h.bucket_counts();
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < h.bounds().size(); ++i) {
+          cumulative += counts[i];
+          Appendf(&out, "%s_bucket{le=\"%g\"} %" PRIu64 "\n", name.c_str(),
+                  h.bounds()[i], cumulative);
+        }
+        cumulative += counts.empty() ? 0 : counts.back();
+        Appendf(&out, "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n", name.c_str(),
+                cumulative);
+        Appendf(&out, "%s_sum %.17g\n", name.c_str(), h.sum());
+        Appendf(&out, "%s_count %" PRIu64 "\n", name.c_str(), h.count());
+        break;
+      }
+    }
+  }
+  return out;
+}
+
 std::string PredictionAccuracyToText(const PredictionAccuracy& accuracy) {
   std::string out;
   Appendf(&out,

@@ -36,6 +36,15 @@ std::string DecisionLogToJson(const DecisionLog& log);
 /// One line: N predictions, mean/max relative error, within-8% fraction.
 std::string PredictionAccuracyToText(const PredictionAccuracy& accuracy);
 
+/// Prometheus text exposition format (version 0.0.4): one `# HELP` and
+/// `# TYPE` line per metric followed by its samples. Histograms expose the
+/// conventional `<name>_bucket{le="..."}` cumulative series (ending in
+/// le="+Inf") plus `<name>_sum` and `<name>_count`. Metric names are
+/// sanitized to [a-zA-Z0-9_:] — the registry's dotted names ("dict.build.us")
+/// become underscored ("dict_build_us") — with a leading '_' prepended if
+/// the sanitized name would start with a digit.
+std::string ExportPrometheusText(const MetricsRegistry& registry);
+
 }  // namespace obs
 }  // namespace adict
 

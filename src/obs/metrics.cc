@@ -40,6 +40,34 @@ std::vector<uint64_t> Histogram::bucket_counts() const {
   return counts;
 }
 
+double Histogram::Quantile(double q) const {
+  q = std::min(1.0, std::max(0.0, q));
+  const std::vector<uint64_t> counts = bucket_counts();
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  // Rank of the quantile observation, 1-based; q = 0 maps to the first.
+  const double rank = std::max(1.0, q * static_cast<double>(total));
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    if (static_cast<double>(cumulative + counts[i]) >= rank) {
+      if (i >= bounds_.size()) {
+        // Overflow bucket: no upper edge, clamp to the largest bound (or 0
+        // for a bounds-less histogram, which holds no value information).
+        return bounds_.empty() ? 0.0 : bounds_.back();
+      }
+      const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+      const double upper = bounds_[i];
+      const double fraction = (rank - static_cast<double>(cumulative)) /
+                              static_cast<double>(counts[i]);
+      return lower + fraction * (upper - lower);
+    }
+    cumulative += counts[i];
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
 void Histogram::Reset() {
   for (size_t i = 0; i <= bounds_.size(); ++i) {
     buckets_[i].store(0, std::memory_order_relaxed);

@@ -16,6 +16,7 @@
 #define ADICT_OBS_METRICS_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -73,6 +74,12 @@ class Histogram {
   const std::vector<double>& bounds() const { return bounds_; }
   /// Per-bucket counts, bounds().size() + 1 entries (last = overflow).
   std::vector<uint64_t> bucket_counts() const;
+  /// Quantile estimate for q in [0, 1] (clamped), linearly interpolated
+  /// inside the containing bucket (Prometheus histogram_quantile
+  /// semantics). Returns 0 when empty; quantiles landing in the overflow
+  /// bucket clamp to the largest bound, since that bucket has no upper
+  /// edge to interpolate toward.
+  double Quantile(double q) const;
   void Reset();
 
  private:
@@ -135,19 +142,30 @@ class MetricsRegistry {
 };
 
 /// RAII timer recording its lifetime into a histogram, in microseconds.
-/// A null histogram disables the timer (used when observability is off).
+/// A null histogram disables the timer (used when observability is off);
+/// the disabled path never touches the clock — instrumentation sites on
+/// hot paths construct a ScopedTimer unconditionally and pass nullptr when
+/// observability is off, so a disabled timer must cost one branch, not a
+/// clock_gettime.
 class ScopedTimer {
  public:
-  explicit ScopedTimer(Histogram* histogram) : histogram_(histogram) {}
+  explicit ScopedTimer(Histogram* histogram) : histogram_(histogram) {
+    if (histogram_ != nullptr) start_ = Clock::now();
+  }
   ~ScopedTimer() {
-    if (histogram_ != nullptr) histogram_->Observe(watch_.ElapsedMicros());
+    if (histogram_ != nullptr) {
+      histogram_->Observe(
+          std::chrono::duration<double, std::micro>(Clock::now() - start_)
+              .count());
+    }
   }
   ScopedTimer(const ScopedTimer&) = delete;
   ScopedTimer& operator=(const ScopedTimer&) = delete;
 
  private:
+  using Clock = std::chrono::steady_clock;
   Histogram* histogram_;
-  Stopwatch watch_;
+  Clock::time_point start_;
 };
 
 }  // namespace obs

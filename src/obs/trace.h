@@ -1,0 +1,168 @@
+// Low-overhead span tracing: where the time goes *inside* one operation.
+//
+// The metrics layer (metrics.h) answers "how often and how long in
+// aggregate"; spans answer "which phase of this merge was slow". A span is a
+// named, nested interval on one thread, opened and closed by a ScopedSpan.
+// Completed spans land in bounded per-thread buffers that an exporter can
+// snapshot as Chrome trace_event JSON (loadable in Perfetto or
+// chrome://tracing) or fold into a per-name inclusive/exclusive summary.
+//
+// Design constraints, in order:
+//   1. Tracing is off in production by default. The disabled path must be a
+//      single relaxed atomic load per ScopedSpan — no clock read, no TLS
+//      buffer lookup, no branch beyond the flag test.
+//   2. Span names must be string literals (or otherwise outlive the
+//      tracer): events store the pointer, never a copy, so opening a span
+//      costs no allocation.
+//   3. Buffers are bounded. When a thread's buffer is full, new spans are
+//      dropped and counted (dropped()); tracing never grows without limit.
+//   4. Threads never contend: each thread writes its own buffer, registered
+//      once under the tracer mutex. Snapshot() takes the mutex and copies.
+//
+// Enabling: programmatically via SetTraceEnabled(true), or by setting the
+// ADICT_TRACE environment variable to anything but "0" before the first
+// span (checked once).
+#ifndef ADICT_OBS_TRACE_H_
+#define ADICT_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace adict {
+namespace obs {
+
+/// One completed span. `name` is the caller's string literal, not owned.
+struct TraceEvent {
+  const char* name = nullptr;
+  uint64_t start_ns = 0;  // monotonic, relative to the tracer epoch
+  uint64_t dur_ns = 0;
+  uint32_t tid = 0;    // dense tracer-assigned thread index, starts at 1
+  uint32_t depth = 0;  // nesting depth at open time, outermost = 0
+};
+
+/// True when spans are being recorded. One relaxed load.
+bool TraceEnabled();
+
+/// Turns recording on or off. The first call (and the first TraceEnabled())
+/// folds in the ADICT_TRACE environment variable; SetTraceEnabled always
+/// wins afterwards.
+void SetTraceEnabled(bool enabled);
+
+/// Collects completed spans from every thread. One process-wide instance
+/// (Trace()); the class is exposed for tests.
+class Tracer {
+ public:
+  /// Default bound per thread; ~4 MB of events across 16 threads.
+  static constexpr size_t kDefaultPerThreadCapacity = 8192;
+
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// All completed spans, every thread, in per-thread completion order.
+  /// Safe against concurrent recording (writers publish each event with a
+  /// release store); a snapshot is a consistent prefix per thread.
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// Spans dropped because a thread's buffer was full.
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  /// Drops all recorded events (registrations and capacity stay). Call when
+  /// no thread is mid-span; clearing concurrently with recording may tear
+  /// the events recorded during the call.
+  void Clear();
+
+  /// Applies to buffers of threads that first record *after* the call;
+  /// existing per-thread buffers keep their capacity. Call before tracing.
+  void set_per_thread_capacity(size_t capacity) {
+    per_thread_capacity_.store(capacity, std::memory_order_relaxed);
+  }
+  size_t per_thread_capacity() const {
+    return per_thread_capacity_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class ScopedSpan;
+
+  /// One thread's bounded event buffer. The owning thread is the only
+  /// writer; it publishes events[i] with a release store of `committed`,
+  /// which Snapshot() pairs with an acquire load — no lock on the record
+  /// path. `events` is sized to capacity at registration and never grows.
+  struct ThreadBuffer {
+    uint32_t tid = 0;
+    uint32_t depth = 0;  // live nesting depth, maintained by ScopedSpan
+    std::vector<TraceEvent> events;
+    std::atomic<size_t> committed{0};
+  };
+
+  /// The calling thread's buffer, registering it on first use.
+  ThreadBuffer* LocalBuffer();
+
+  void RecordDropped() { dropped_.fetch_add(1, std::memory_order_relaxed); }
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::atomic<size_t> per_thread_capacity_{kDefaultPerThreadCapacity};
+  std::atomic<uint64_t> dropped_{0};
+};
+
+/// The process-wide tracer. Never destroyed.
+Tracer& Trace();
+
+/// RAII span: records [construction, destruction) on the calling thread.
+/// `name` must outlive the tracer (use a string literal).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;        // nullptr when tracing was off at open
+  uint64_t start_ns_ = 0;
+  uint32_t depth_ = 0;
+  Tracer::ThreadBuffer* buffer_ = nullptr;
+};
+
+#define ADICT_TRACE_CONCAT_IMPL(a, b) a##b
+#define ADICT_TRACE_CONCAT(a, b) ADICT_TRACE_CONCAT_IMPL(a, b)
+
+/// Opens a span for the rest of the enclosing scope.
+#define ADICT_TRACE_SPAN(name) \
+  ::adict::obs::ScopedSpan ADICT_TRACE_CONCAT(adict_span_, __LINE__)(name)
+
+/// Chrome trace_event JSON ("X" complete events) for the given events:
+/// {"traceEvents":[{"name":...,"ph":"X","ts":...,"dur":...,"pid":1,
+/// "tid":...},...]}. Loadable in Perfetto / chrome://tracing. Timestamps
+/// are microseconds (fractional) since the tracer epoch.
+std::string TraceToChromeJson(const std::vector<TraceEvent>& events);
+
+/// Convenience: exporter over Trace().Snapshot().
+std::string TraceToChromeJson();
+
+/// Per-name aggregate of one trace run, for the text summary.
+struct SpanStats {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t inclusive_ns = 0;  // sum of span durations
+  uint64_t exclusive_ns = 0;  // inclusive minus time in direct children
+};
+
+/// Aggregates events per span name: count, inclusive time, and exclusive
+/// time (inclusive minus the time spent in direct child spans). Sorted by
+/// descending exclusive time.
+std::vector<SpanStats> SummarizeTrace(const std::vector<TraceEvent>& events);
+
+/// Aligned text table of SummarizeTrace, plus the dropped-span count.
+std::string TraceSummaryToText(const std::vector<TraceEvent>& events,
+                               uint64_t dropped = 0);
+
+}  // namespace obs
+}  // namespace adict
+
+#endif  // ADICT_OBS_TRACE_H_

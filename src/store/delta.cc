@@ -4,6 +4,7 @@
 
 #include "core/build_guard.h"
 #include "obs/obs.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/failpoint.h"
 
@@ -21,6 +22,7 @@ size_t DeltaColumn::MemoryBytes() const {
 namespace {
 
 DomainEncoded MergeEncode(const StringColumn& main, const DeltaColumn& delta) {
+  ADICT_TRACE_SPAN("merge.encode");
   // Union of the two dictionaries.
   const std::vector<std::string> main_values = main.MaterializeDictionary();
   std::vector<std::string> delta_values;
@@ -87,6 +89,7 @@ obs::Histogram* MergeTimerHistogram() {
 
 StringColumn MergeDelta(const StringColumn& main, const DeltaColumn& delta,
                         DictFormat format) {
+  ADICT_TRACE_SPAN("merge.delta");
   obs::ScopedTimer timer(MergeTimerHistogram());
   CountMerge(main, delta);
   return StringColumn::FromEncoded(MergeEncode(main, delta), format);
@@ -97,6 +100,7 @@ StringColumn MergeDeltaAdaptive(const StringColumn& main,
                                 const CompressionManager& manager,
                                 double lifetime_seconds,
                                 std::string_view column_id) {
+  ADICT_TRACE_SPAN("merge.delta_adaptive");
   obs::ScopedTimer timer(MergeTimerHistogram());
   CountMerge(main, delta);
   DomainEncoded encoded = MergeEncode(main, delta);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "dict/serialization.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace adict {
@@ -49,6 +50,7 @@ StringColumn StringColumn::FromParts(std::unique_ptr<Dictionary> dict,
 }
 
 std::vector<std::string> StringColumn::MaterializeDictionary() const {
+  ADICT_TRACE_SPAN("column.materialize_dictionary");
   std::vector<std::string> values;
   values.reserve(dict_->size());
   for (uint32_t id = 0; id < dict_->size(); ++id) {

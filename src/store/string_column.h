@@ -17,6 +17,7 @@
 #include "core/tradeoff.h"
 #include "dict/dictionary.h"
 #include "obs/obs.h"
+#include "obs/trace.h"
 #include "store/column_vector.h"
 #include "util/status.h"
 
@@ -87,6 +88,7 @@ class StringColumn {
   void ScanDictionary(uint32_t first, uint32_t count,
                       const std::function<void(uint32_t, std::string_view)>&
                           fn) const {
+    ADICT_TRACE_SPAN("column.scan_dictionary");
     usage_.num_extracts += count;
     if (obs::Enabled()) {
       static obs::Counter* scanned = obs::Metrics().GetCounter(

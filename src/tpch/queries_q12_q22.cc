@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/trace.h"
 #include "tpch/queries.h"
 #include "tpch/query_helpers.h"
 #include "util/check.h"
@@ -613,6 +614,15 @@ QueryResult Q22(const TpchDatabase& db) {
 
 QueryResult RunTpchQuery(const TpchDatabase& db, int query) {
   using namespace tpch_internal;
+  // Span names are string literals because TraceEvent stores the pointer.
+  static constexpr const char* kQuerySpans[kNumTpchQueries] = {
+      "tpch.q01", "tpch.q02", "tpch.q03", "tpch.q04", "tpch.q05", "tpch.q06",
+      "tpch.q07", "tpch.q08", "tpch.q09", "tpch.q10", "tpch.q11", "tpch.q12",
+      "tpch.q13", "tpch.q14", "tpch.q15", "tpch.q16", "tpch.q17", "tpch.q18",
+      "tpch.q19", "tpch.q20", "tpch.q21", "tpch.q22"};
+  obs::ScopedSpan span(query >= 1 && query <= kNumTpchQueries
+                           ? kQuerySpans[query - 1]
+                           : "tpch.q??");
   switch (query) {
     case 1: return Q1(db);
     case 2: return Q2(db);

@@ -227,6 +227,82 @@ TEST(Exporters, MetricsTextAndJsonContainRegisteredMetrics) {
   EXPECT_NE(json.find("\"type\":\"histogram\""), std::string::npos);
 }
 
+// Prometheus exposition format 0.0.4 conformance: names restricted to
+// [a-zA-Z0-9_:], # HELP / # TYPE headers, cumulative le buckets ending in
+// +Inf, and matching _sum / _count series.
+TEST(Exporters, PrometheusTextConformance) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("merge.total", "calls", "Total merges")->Increment(7);
+  registry.GetGauge("controller.c")->Set(0.5);
+  const std::vector<double> bounds = {10, 100};
+  obs::Histogram* hist =
+      registry.GetHistogram("build.latency-us", bounds, "us",
+                            "Build latency\nwith a line break \\ slash");
+  hist->Observe(5);
+  hist->Observe(50);
+  hist->Observe(5000);
+
+  const std::string text = obs::ExportPrometheusText(registry);
+
+  // Dots and dashes sanitize to underscores; TYPE precedes the sample.
+  EXPECT_NE(text.find("# HELP merge_total Total merges\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE merge_total counter\nmerge_total 7\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE controller_c gauge\ncontroller_c 0.5\n"),
+            std::string::npos);
+
+  // HELP text escapes newline and backslash per the exposition format.
+  EXPECT_NE(text.find("Build latency\\nwith a line break \\\\ slash"),
+            std::string::npos);
+
+  // Histogram: cumulative buckets, +Inf equals _count, and a _sum series.
+  EXPECT_NE(text.find("# TYPE build_latency_us histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("build_latency_us_bucket{le=\"10\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("build_latency_us_bucket{le=\"100\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("build_latency_us_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("build_latency_us_sum 5055\n"), std::string::npos);
+  EXPECT_NE(text.find("build_latency_us_count 3\n"), std::string::npos);
+
+  // Structural sweep: every line is a comment or "name[{labels}] value"
+  // with a name matching [a-zA-Z_:][a-zA-Z0-9_:]*.
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    ASSERT_NE(eol, std::string::npos) << "missing trailing newline";
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0) {
+      continue;
+    }
+    ASSERT_FALSE(line.empty());
+    const size_t space = line.find(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    std::string name = line.substr(0, space);
+    const size_t brace = name.find('{');
+    if (brace != std::string::npos) name = name.substr(0, brace);
+    ASSERT_FALSE(name.empty()) << line;
+    EXPECT_FALSE(name[0] >= '0' && name[0] <= '9') << line;
+    for (char ch : name) {
+      const bool valid = (ch >= 'a' && ch <= 'z') ||
+                         (ch >= 'A' && ch <= 'Z') ||
+                         (ch >= '0' && ch <= '9') || ch == '_' || ch == ':';
+      EXPECT_TRUE(valid) << "invalid char '" << ch << "' in: " << line;
+    }
+  }
+}
+
+TEST(Exporters, PrometheusNameSanitizationPrefixesDigits) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("9lives.count")->Increment();
+  const std::string text = obs::ExportPrometheusText(registry);
+  EXPECT_NE(text.find("_9lives_count 1\n"), std::string::npos);
+  EXPECT_EQ(text.find("9lives"), text.find("_9lives") + 1);
+}
+
 TEST(Exporters, DecisionLogTextAndJson) {
   obs::DecisionLog log(8);
   obs::DecisionRecord record = MakeRecord("l_shipmode", 1000);

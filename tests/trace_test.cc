@@ -1,0 +1,427 @@
+// Unit tests for the span tracer: nesting and ordering, thread-local
+// isolation, buffer bounding, the disabled-path no-op, Chrome trace JSON
+// well-formedness (checked with a minimal parser), the summary's
+// inclusive/exclusive accounting, and Histogram::Quantile edge cases.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace adict {
+namespace {
+
+// Serializes access to the process-wide tracer state (enabled flag + event
+// buffers) across the tests in this binary, and restores a clean disabled
+// state afterwards.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::Trace().Clear();
+    obs::SetTraceEnabled(true);
+  }
+  void TearDown() override {
+    obs::SetTraceEnabled(false);
+    obs::Trace().Clear();
+  }
+};
+
+const obs::TraceEvent* FindEvent(const std::vector<obs::TraceEvent>& events,
+                                 std::string_view name) {
+  for (const obs::TraceEvent& event : events) {
+    if (event.name != nullptr && name == event.name) return &event;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Recording
+
+TEST_F(TraceTest, NestedSpansRecordDepthAndContainment) {
+  {
+    obs::ScopedSpan outer("test.outer");
+    {
+      obs::ScopedSpan middle("test.middle");
+      obs::ScopedSpan inner("test.inner");
+      (void)inner;
+      (void)middle;
+    }
+    (void)outer;
+  }
+  const std::vector<obs::TraceEvent> events = obs::Trace().Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+
+  const obs::TraceEvent* outer = FindEvent(events, "test.outer");
+  const obs::TraceEvent* middle = FindEvent(events, "test.middle");
+  const obs::TraceEvent* inner = FindEvent(events, "test.inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(middle, nullptr);
+  ASSERT_NE(inner, nullptr);
+
+  EXPECT_EQ(outer->depth, 0u);
+  EXPECT_EQ(middle->depth, 1u);
+  EXPECT_EQ(inner->depth, 2u);
+
+  // Children complete before parents, and lie inside the parent interval.
+  EXPECT_EQ(events[0].name, std::string("test.inner"));
+  EXPECT_EQ(events[2].name, std::string("test.outer"));
+  EXPECT_GE(inner->start_ns, middle->start_ns);
+  EXPECT_LE(inner->start_ns + inner->dur_ns,
+            middle->start_ns + middle->dur_ns);
+  EXPECT_GE(middle->start_ns, outer->start_ns);
+  EXPECT_LE(middle->start_ns + middle->dur_ns,
+            outer->start_ns + outer->dur_ns);
+
+  // Siblings recorded after a scope closed re-use the parent's depth.
+  {
+    obs::ScopedSpan sibling("test.sibling");
+    (void)sibling;
+  }
+  const std::vector<obs::TraceEvent> more = obs::Trace().Snapshot();
+  const obs::TraceEvent* sibling = FindEvent(more, "test.sibling");
+  ASSERT_NE(sibling, nullptr);
+  EXPECT_EQ(sibling->depth, 0u);
+}
+
+TEST_F(TraceTest, MacroExpandsToDistinctSpansPerLine) {
+  {
+    ADICT_TRACE_SPAN("test.macro_a");
+    ADICT_TRACE_SPAN("test.macro_b");
+  }
+  const std::vector<obs::TraceEvent> events = obs::Trace().Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_NE(FindEvent(events, "test.macro_a"), nullptr);
+  EXPECT_NE(FindEvent(events, "test.macro_b"), nullptr);
+}
+
+TEST_F(TraceTest, ThreadsRecordIntoIsolatedBuffersWithDistinctTids) {
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 16;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        obs::ScopedSpan span("test.thread_span");
+        obs::ScopedSpan nested("test.thread_nested");
+        (void)span;
+        (void)nested;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const std::vector<obs::TraceEvent> events = obs::Trace().Snapshot();
+  EXPECT_EQ(events.size(),
+            static_cast<size_t>(kThreads) * kSpansPerThread * 2);
+
+  // Every thread got its own tid, and nesting depth never leaked across
+  // threads: each tid sees exactly half its events at depth 0.
+  std::vector<uint32_t> tids;
+  for (const obs::TraceEvent& event : events) {
+    if (std::find(tids.begin(), tids.end(), event.tid) == tids.end()) {
+      tids.push_back(event.tid);
+    }
+  }
+  EXPECT_EQ(tids.size(), static_cast<size_t>(kThreads));
+  for (uint32_t tid : tids) {
+    int depth0 = 0, depth1 = 0;
+    for (const obs::TraceEvent& event : events) {
+      if (event.tid != tid) continue;
+      if (event.depth == 0) ++depth0;
+      if (event.depth == 1) ++depth1;
+    }
+    EXPECT_EQ(depth0, kSpansPerThread);
+    EXPECT_EQ(depth1, kSpansPerThread);
+  }
+}
+
+TEST_F(TraceTest, FullBufferDropsAndCountsInsteadOfGrowing) {
+  const size_t original_capacity = obs::Trace().per_thread_capacity();
+  obs::Trace().set_per_thread_capacity(8);
+  // A fresh thread registers its buffer at the reduced capacity.
+  std::thread recorder([] {
+    for (int i = 0; i < 20; ++i) {
+      obs::ScopedSpan span("test.bounded");
+      (void)span;
+    }
+  });
+  recorder.join();
+  obs::Trace().set_per_thread_capacity(original_capacity);
+
+  const std::vector<obs::TraceEvent> events = obs::Trace().Snapshot();
+  size_t recorded = 0;
+  for (const obs::TraceEvent& event : events) {
+    if (std::string_view(event.name) == "test.bounded") ++recorded;
+  }
+  EXPECT_EQ(recorded, 8u);
+  EXPECT_EQ(obs::Trace().dropped(), 12u);
+}
+
+TEST_F(TraceTest, DisabledPathRecordsNothing) {
+  obs::SetTraceEnabled(false);
+  {
+    ADICT_TRACE_SPAN("test.disabled");
+    obs::ScopedSpan span("test.disabled_direct");
+    (void)span;
+  }
+  EXPECT_TRUE(obs::Trace().Snapshot().empty());
+  EXPECT_EQ(obs::Trace().dropped(), 0u);
+
+  // A span opened while disabled stays silent even if tracing flips on
+  // before it closes (the decision is taken at open time).
+  obs::ScopedSpan* straddling = nullptr;
+  {
+    obs::ScopedSpan span("test.straddling");
+    straddling = &span;
+    (void)straddling;
+    obs::SetTraceEnabled(true);
+  }
+  EXPECT_TRUE(obs::Trace().Snapshot().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace JSON
+
+// Minimal JSON well-formedness checker: objects, arrays, strings with
+// escapes, numbers, true/false/null. Returns true iff the whole input is
+// one valid value.
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text) : p_(text.data()), end_(p_ + text.size()) {}
+
+  bool Valid() {
+    const bool ok = Value();
+    SkipSpace();
+    return ok && p_ == end_;
+  }
+
+ private:
+  void SkipSpace() {
+    while (p_ < end_ && std::isspace(static_cast<unsigned char>(*p_))) ++p_;
+  }
+  bool Literal(std::string_view word) {
+    if (static_cast<size_t>(end_ - p_) < word.size()) return false;
+    if (std::string_view(p_, word.size()) != word) return false;
+    p_ += word.size();
+    return true;
+  }
+  bool String() {
+    if (p_ >= end_ || *p_ != '"') return false;
+    ++p_;
+    while (p_ < end_ && *p_ != '"') {
+      if (*p_ == '\\') {
+        ++p_;
+        if (p_ >= end_) return false;
+      }
+      ++p_;
+    }
+    if (p_ >= end_) return false;
+    ++p_;
+    return true;
+  }
+  bool Number() {
+    const char* start = p_;
+    if (p_ < end_ && (*p_ == '-' || *p_ == '+')) ++p_;
+    bool digits = false;
+    while (p_ < end_ && (std::isdigit(static_cast<unsigned char>(*p_)) ||
+                         *p_ == '.' || *p_ == 'e' || *p_ == 'E' ||
+                         *p_ == '-' || *p_ == '+')) {
+      digits |= std::isdigit(static_cast<unsigned char>(*p_)) != 0;
+      ++p_;
+    }
+    return digits && p_ != start;
+  }
+  bool Value() {
+    SkipSpace();
+    if (p_ >= end_) return false;
+    switch (*p_) {
+      case '{': {
+        ++p_;
+        SkipSpace();
+        if (p_ < end_ && *p_ == '}') {
+          ++p_;
+          return true;
+        }
+        while (true) {
+          SkipSpace();
+          if (!String()) return false;
+          SkipSpace();
+          if (p_ >= end_ || *p_ != ':') return false;
+          ++p_;
+          if (!Value()) return false;
+          SkipSpace();
+          if (p_ < end_ && *p_ == ',') {
+            ++p_;
+            continue;
+          }
+          break;
+        }
+        if (p_ >= end_ || *p_ != '}') return false;
+        ++p_;
+        return true;
+      }
+      case '[': {
+        ++p_;
+        SkipSpace();
+        if (p_ < end_ && *p_ == ']') {
+          ++p_;
+          return true;
+        }
+        while (true) {
+          if (!Value()) return false;
+          SkipSpace();
+          if (p_ < end_ && *p_ == ',') {
+            ++p_;
+            continue;
+          }
+          break;
+        }
+        if (p_ >= end_ || *p_ != ']') return false;
+        ++p_;
+        return true;
+      }
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+TEST_F(TraceTest, ChromeJsonIsWellFormedAndCarriesRequiredFields) {
+  {
+    obs::ScopedSpan outer("test.json \"quoted\"\\name");
+    obs::ScopedSpan inner("test.json_inner");
+    (void)outer;
+    (void)inner;
+  }
+  const std::string json = obs::TraceToChromeJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+  // The quote and backslash in the span name were escaped.
+  EXPECT_NE(json.find("test.json \\\"quoted\\\"\\\\name"), std::string::npos);
+}
+
+TEST_F(TraceTest, EmptyTraceStillExportsValidJson) {
+  const std::string json = obs::TraceToChromeJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+}
+
+// ---------------------------------------------------------------------------
+// Summary
+
+TEST_F(TraceTest, SummaryAttributesChildTimeToExclusiveBuckets) {
+  std::vector<obs::TraceEvent> events;
+  // Hand-built trace: parent [0, 1000], child [100, 400], child [500, 800],
+  // plus an unrelated span on another thread [0, 50].
+  events.push_back({"child", 100, 300, 1, 1});
+  events.push_back({"child", 500, 300, 1, 1});
+  events.push_back({"parent", 0, 1000, 1, 0});
+  events.push_back({"other", 0, 50, 2, 0});
+
+  const std::vector<obs::SpanStats> stats = obs::SummarizeTrace(events);
+  ASSERT_EQ(stats.size(), 3u);
+
+  const auto find = [&](std::string_view name) -> const obs::SpanStats* {
+    for (const obs::SpanStats& s : stats) {
+      if (s.name == name) return &s;
+    }
+    return nullptr;
+  };
+  const obs::SpanStats* parent = find("parent");
+  const obs::SpanStats* child = find("child");
+  const obs::SpanStats* other = find("other");
+  ASSERT_NE(parent, nullptr);
+  ASSERT_NE(child, nullptr);
+  ASSERT_NE(other, nullptr);
+
+  EXPECT_EQ(parent->count, 1u);
+  EXPECT_EQ(parent->inclusive_ns, 1000u);
+  EXPECT_EQ(parent->exclusive_ns, 400u);  // 1000 - 2 * 300
+  EXPECT_EQ(child->count, 2u);
+  EXPECT_EQ(child->inclusive_ns, 600u);
+  EXPECT_EQ(child->exclusive_ns, 600u);
+  EXPECT_EQ(other->inclusive_ns, 50u);
+  EXPECT_EQ(other->exclusive_ns, 50u);
+
+  const std::string text = obs::TraceSummaryToText(events, /*dropped=*/3);
+  EXPECT_NE(text.find("parent"), std::string::npos);
+  EXPECT_NE(text.find("3 dropped"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram::Quantile
+
+TEST(HistogramQuantile, EmptyHistogramReturnsZero) {
+  const std::vector<double> bounds = {10, 100};
+  obs::Histogram hist(bounds);
+  EXPECT_DOUBLE_EQ(hist.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(hist.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(hist.Quantile(1.0), 0.0);
+}
+
+TEST(HistogramQuantile, SingleBucketInterpolatesFromZero) {
+  const std::vector<double> bounds = {100};
+  obs::Histogram hist(bounds);
+  hist.Observe(10);
+  hist.Observe(20);
+  hist.Observe(30);
+  hist.Observe(40);
+  // rank q*4 inside the [0, 100] bucket of 4 observations.
+  EXPECT_DOUBLE_EQ(hist.Quantile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(hist.Quantile(1.0), 100.0);
+  // q = 0 clamps the rank to the first observation.
+  EXPECT_DOUBLE_EQ(hist.Quantile(0.0), 25.0);
+}
+
+TEST(HistogramQuantile, InterpolatesAcrossBuckets) {
+  const std::vector<double> bounds = {10, 20};
+  obs::Histogram hist(bounds);
+  for (int i = 0; i < 10; ++i) hist.Observe(5);   // first bucket
+  for (int i = 0; i < 10; ++i) hist.Observe(15);  // second bucket
+  EXPECT_DOUBLE_EQ(hist.Quantile(0.5), 10.0);   // rank 10 = first bucket edge
+  EXPECT_DOUBLE_EQ(hist.Quantile(0.75), 15.0);  // halfway into [10, 20]
+}
+
+TEST(HistogramQuantile, OverflowBucketClampsToLargestBound) {
+  const std::vector<double> bounds = {10, 100};
+  obs::Histogram hist(bounds);
+  hist.Observe(5);
+  hist.Observe(5000);  // overflow bucket
+  hist.Observe(5000);
+  EXPECT_DOUBLE_EQ(hist.Quantile(0.99), 100.0);
+  // Everything in overflow: still the largest bound, never an invented value.
+  obs::Histogram overflow_only(bounds);
+  overflow_only.Observe(1e9);
+  EXPECT_DOUBLE_EQ(overflow_only.Quantile(0.5), 100.0);
+}
+
+TEST(HistogramQuantile, OutOfRangeQIsClamped) {
+  const std::vector<double> bounds = {10};
+  obs::Histogram hist(bounds);
+  hist.Observe(5);
+  EXPECT_DOUBLE_EQ(hist.Quantile(-0.5), hist.Quantile(0.0));
+  EXPECT_DOUBLE_EQ(hist.Quantile(1.5), hist.Quantile(1.0));
+}
+
+}  // namespace
+}  // namespace adict
