@@ -13,6 +13,12 @@
 //   $ ./build/bench/perf_regression --baseline BENCH_core.json --tolerance 0.15
 //   $ ./build/bench/perf_regression --selftest              # compare-mode check
 //
+// The baseline is read and parsed up front, before any measurement and
+// before the fresh results are written to --out. Pointing --baseline at the
+// same file as --out (the rolling-baseline workflow above) therefore
+// compares the current run against the committed values and only then
+// advances the file.
+//
 // Absolute timings are machine-dependent; the JSON is the interchange format
 // and the tolerance check is meant for same-machine comparisons (CI uploads
 // the artifact but does not gate on timings).
@@ -375,6 +381,37 @@ bool ParseRows(const std::string& json, std::vector<Row>* rows) {
   return cursor.Consume(']') && cursor.ok;
 }
 
+bool WriteStringToFile(const std::string& path, const std::string& data) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(data.data(), 1, data.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+/// Reads and parses a BENCH_core.json file; the --baseline loader. Returns
+/// false (with a diagnostic) if the file is unreadable or malformed.
+bool LoadRowsFile(const std::string& path, std::vector<Row>* rows) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot read baseline %s\n", path.c_str());
+    return false;
+  }
+  std::string json;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) json.append(buf, n);
+  std::fclose(f);
+  if (!ParseRows(json, rows)) {
+    std::fprintf(stderr, "malformed baseline %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
 // ---------------------------------------------------------------------------
 // Baseline comparison
 // ---------------------------------------------------------------------------
@@ -452,8 +489,30 @@ int SelfTest(const std::vector<Row>& rows) {
                  flagged, expected);
     return 1;
   }
+
+  // The file-based compare path, including the documented out==baseline
+  // flow: write the halved baseline to disk, load it the way --baseline
+  // does, overwrite the same file with the current results (as main does
+  // after loading), and check the comparison still flags against the *old*
+  // on-disk values.
+  const std::string path = "perf_regression_selftest.tmp.json";
+  std::vector<Row> from_file;
+  const bool file_ok =
+      WriteStringToFile(path, RowsToJson(halved, 0, "selftest")) &&
+      LoadRowsFile(path, &from_file) &&
+      WriteStringToFile(path, json) &&
+      CompareAgainstBaseline(parsed, from_file, 0.15, /*verbose=*/false) >=
+          expected;
+  std::remove(path.c_str());
+  if (!file_ok) {
+    std::fprintf(stderr,
+                 "selftest FAIL: file-based baseline compare missed the "
+                 "injected slowdown\n");
+    return 1;
+  }
+
   std::fprintf(stderr, "selftest ok: %zu rows, %d/%d injected regressions "
-                       "detected\n",
+                       "detected (in-memory and via baseline file)\n",
                rows.size(), flagged, expected);
   return 0;
 }
@@ -496,6 +555,17 @@ int main(int argc, char** argv) {
     config.delta_rows = 200;
   }
 
+  // The baseline must be read BEFORE the fresh results are written: with
+  // --baseline and --out pointing at the same file (the documented rolling
+  // workflow) a write-first ordering would clobber the committed values and
+  // compare the run against itself, never failing. Loading up front also
+  // rejects a missing/malformed baseline before minutes of measurement.
+  std::vector<Row> baseline;
+  if (!config.baseline_path.empty() && !config.selftest &&
+      !LoadRowsFile(config.baseline_path, &baseline)) {
+    return 2;
+  }
+
   // Steady timings: the metrics layer would add its own (tiny) overhead and
   // the paths under test are instrumented; measure them bare.
   obs::SetEnabled(false);
@@ -510,36 +580,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "internal error: produced malformed JSON\n");
     return 2;
   }
-  if (std::FILE* f = std::fopen(config.out_path.c_str(), "w")) {
-    std::fwrite(json.data(), 1, json.size(), f);
-    std::fclose(f);
-    std::fprintf(stderr, "wrote %zu rows to %s\n", rows.size(),
-                 config.out_path.c_str());
-  } else {
-    std::fprintf(stderr, "cannot write %s\n", config.out_path.c_str());
-    return 2;
-  }
+  if (!WriteStringToFile(config.out_path, json)) return 2;
+  std::fprintf(stderr, "wrote %zu rows to %s\n", rows.size(),
+               config.out_path.c_str());
 
   if (!config.baseline_path.empty()) {
-    std::string baseline_json;
-    if (std::FILE* f = std::fopen(config.baseline_path.c_str(), "r")) {
-      char buf[4096];
-      size_t n;
-      while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
-        baseline_json.append(buf, n);
-      }
-      std::fclose(f);
-    } else {
-      std::fprintf(stderr, "cannot read baseline %s\n",
-                   config.baseline_path.c_str());
-      return 2;
-    }
-    std::vector<Row> baseline;
-    if (!ParseRows(baseline_json, &baseline)) {
-      std::fprintf(stderr, "malformed baseline %s\n",
-                   config.baseline_path.c_str());
-      return 2;
-    }
     const int regressions = CompareAgainstBaseline(
         rows, baseline, config.tolerance, /*verbose=*/false);
     std::fprintf(stderr, "%d regression(s) vs %s at tolerance %.0f%%\n",

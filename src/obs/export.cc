@@ -193,8 +193,14 @@ std::string ExportPrometheusText(const MetricsRegistry& registry) {
         cumulative += counts.empty() ? 0 : counts.back();
         Appendf(&out, "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n", name.c_str(),
                 cumulative);
+        // _count comes from the same counts snapshot as the buckets so one
+        // scrape always satisfies the +Inf bucket == _count invariant even
+        // under concurrent Observe(); h.count() would be a separate atomic
+        // read that can lag or lead. _sum is still its own read and may be
+        // slightly skewed relative to the counts — Prometheus tolerates
+        // that, but not an inconsistent +Inf/_count pair.
         Appendf(&out, "%s_sum %.17g\n", name.c_str(), h.sum());
-        Appendf(&out, "%s_count %" PRIu64 "\n", name.c_str(), h.count());
+        Appendf(&out, "%s_count %" PRIu64 "\n", name.c_str(), cumulative);
         break;
       }
     }

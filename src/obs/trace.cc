@@ -98,23 +98,39 @@ Tracer& Trace() {
   return *tracer;
 }
 
+namespace {
+std::atomic<uint64_t> g_next_tracer_id{1};
+}  // namespace
+
+Tracer::Tracer()
+    : id_(g_next_tracer_id.fetch_add(1, std::memory_order_relaxed)) {}
+
 Tracer::ThreadBuffer* Tracer::LocalBuffer() {
-  // The cache is keyed on the owning tracer so tests constructing their own
-  // Tracer do not write into the global one's buffers. A thread alternating
-  // between tracers re-registers on each switch; only the global Trace() is
-  // used by ScopedSpan, so that stays the one-lookup fast path.
-  thread_local Tracer* owner = nullptr;
-  thread_local ThreadBuffer* buffer = nullptr;
-  if (owner != this) {
+  // Fast path: one comparison for a thread sticking to a single tracer (in
+  // production that is the global Trace(), the only tracer ScopedSpan uses).
+  // The cache is keyed on the tracer's never-reused id, not its address: a
+  // test-owned Tracer that is destroyed and another allocated at the same
+  // address cannot revive a stale buffer pointer.
+  thread_local uint64_t cached_id = 0;  // real ids start at 1
+  thread_local ThreadBuffer* cached_buffer = nullptr;
+  if (cached_id == id_) return cached_buffer;
+  // Slow path: per-tracer registry so a thread alternating between tracers
+  // reuses the buffer (and tid) it registered the first time instead of
+  // leaking a fresh one per switch. Entries for destroyed tracers linger but
+  // are unreachable — their ids are never handed out again.
+  thread_local std::map<uint64_t, ThreadBuffer*> buffers_by_tracer;
+  auto [it, inserted] = buffers_by_tracer.try_emplace(id_, nullptr);
+  if (inserted) {
     auto fresh = std::make_unique<ThreadBuffer>();
     fresh->events.resize(per_thread_capacity());
     std::lock_guard<std::mutex> lock(mutex_);
     fresh->tid = static_cast<uint32_t>(buffers_.size() + 1);
-    buffer = fresh.get();
+    it->second = fresh.get();
     buffers_.push_back(std::move(fresh));
-    owner = this;
   }
-  return buffer;
+  cached_id = id_;
+  cached_buffer = it->second;
+  return cached_buffer;
 }
 
 std::vector<TraceEvent> Tracer::Snapshot() const {
@@ -223,9 +239,18 @@ std::vector<SpanStats> SummarizeTrace(const std::vector<TraceEvent>& events) {
       }
       current_tid = event.tid;
     }
-    while (!stack.empty() &&
-           stack.back().event->start_ns + stack.back().event->dur_ns <=
-               event.start_ns) {
+    while (!stack.empty()) {
+      const TraceEvent& top = *stack.back().event;
+      // A span ending exactly where this one starts is a completed sibling,
+      // not an ancestor — unless its recorded depth says otherwise: with a
+      // coarse clock a zero-duration parent can share its start (and end)
+      // timestamp with its child, and must stay open so the child is not
+      // attributed to the grandparent.
+      const uint64_t top_end = top.start_ns + top.dur_ns;
+      if (top_end > event.start_ns ||
+          (top_end == event.start_ns && top.depth < event.depth)) {
+        break;
+      }
       const Open open = stack.back();
       stack.pop_back();
       finalize(open);

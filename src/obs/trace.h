@@ -59,7 +59,7 @@ class Tracer {
   /// Default bound per thread; ~4 MB of events across 16 threads.
   static constexpr size_t kDefaultPerThreadCapacity = 8192;
 
-  Tracer() = default;
+  Tracer();
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
 
@@ -103,6 +103,11 @@ class Tracer {
   ThreadBuffer* LocalBuffer();
 
   void RecordDropped() { dropped_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Process-unique, never reused. Thread-local buffer caches are keyed on
+  /// this rather than the Tracer's address so a destroyed test Tracer can
+  /// never be confused with a later one allocated at the same address.
+  const uint64_t id_;
 
   mutable std::mutex mutex_;
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_;

@@ -368,6 +368,52 @@ TEST_F(TraceTest, SummaryAttributesChildTimeToExclusiveBuckets) {
   EXPECT_NE(text.find("3 dropped"), std::string::npos);
 }
 
+TEST_F(TraceTest, SummaryUsesDepthToKeepSameStartAncestorsOpen) {
+  // With a coarse clock a parent span can be recorded with zero duration
+  // sharing its start timestamp with a child. The recorded depth still
+  // identifies it as an ancestor: the child must be attributed to it, not
+  // popped past it to the grandparent.
+  std::vector<obs::TraceEvent> events;
+  events.push_back({"grand", 0, 1000, 1, 0});
+  events.push_back({"parent", 100, 0, 1, 1});
+  events.push_back({"child", 100, 200, 1, 2});
+
+  const std::vector<obs::SpanStats> stats = obs::SummarizeTrace(events);
+  const auto find = [&](std::string_view name) -> const obs::SpanStats* {
+    for (const obs::SpanStats& s : stats) {
+      if (s.name == name) return &s;
+    }
+    return nullptr;
+  };
+  const obs::SpanStats* grand = find("grand");
+  const obs::SpanStats* parent = find("parent");
+  const obs::SpanStats* child = find("child");
+  ASSERT_NE(grand, nullptr);
+  ASSERT_NE(parent, nullptr);
+  ASSERT_NE(child, nullptr);
+
+  // The child's 200 ns land in the parent's child bucket; the grandparent's
+  // only direct child is the zero-duration parent. Misattributing the child
+  // to the grandparent would read 800 here.
+  EXPECT_EQ(grand->exclusive_ns, 1000u);
+  EXPECT_EQ(parent->inclusive_ns, 0u);
+  EXPECT_EQ(child->exclusive_ns, 200u);
+
+  // A zero-gap *sibling* (same depth) is still popped: back-to-back spans
+  // both count as children of the enclosing one.
+  std::vector<obs::TraceEvent> siblings;
+  siblings.push_back({"root", 0, 200, 1, 0});
+  siblings.push_back({"a", 0, 100, 1, 1});
+  siblings.push_back({"b", 100, 100, 1, 1});
+  const std::vector<obs::SpanStats> sibling_stats =
+      obs::SummarizeTrace(siblings);
+  for (const obs::SpanStats& s : sibling_stats) {
+    if (s.name == "root") {
+      EXPECT_EQ(s.exclusive_ns, 0u);
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Histogram::Quantile
 
