@@ -17,25 +17,34 @@ TradeoffController::TradeoffController(const Options& options)
 double TradeoffController::Observe(double free_bytes, double total_bytes) {
   ADICT_CHECK(total_bytes > 0);
   const double measured = std::clamp(free_bytes / total_bytes, 0.0, 1.0);
-  if (smoothed_free_fraction_ < 0) {
-    smoothed_free_fraction_ = measured;  // first sample primes the filter
-  } else {
-    smoothed_free_fraction_ = options_.smoothing * measured +
-                              (1.0 - options_.smoothing) * smoothed_free_fraction_;
-  }
-
-  const double error = smoothed_free_fraction_ - options_.target_free_fraction;
+  double new_c;
+  double new_smoothed;
   const char* step = "hold";
-  if (error < -options_.dead_band) {
-    // Less free memory than desired: compress harder.
-    c_ /= options_.adjust_factor;
-    step = "down";
-  } else if (error > options_.dead_band) {
-    // Head-room available: favor speed.
-    c_ *= options_.adjust_factor;
-    step = "up";
+  {
+    MutexLock lock(&mutex_);
+    if (smoothed_free_fraction_ < 0) {
+      smoothed_free_fraction_ = measured;  // first sample primes the filter
+    } else {
+      smoothed_free_fraction_ =
+          options_.smoothing * measured +
+          (1.0 - options_.smoothing) * smoothed_free_fraction_;
+    }
+
+    const double error =
+        smoothed_free_fraction_ - options_.target_free_fraction;
+    if (error < -options_.dead_band) {
+      // Less free memory than desired: compress harder.
+      c_ /= options_.adjust_factor;
+      step = "down";
+    } else if (error > options_.dead_band) {
+      // Head-room available: favor speed.
+      c_ *= options_.adjust_factor;
+      step = "up";
+    }
+    c_ = std::clamp(c_, options_.min_c, options_.max_c);
+    new_c = c_;
+    new_smoothed = smoothed_free_fraction_;
   }
-  c_ = std::clamp(c_, options_.min_c, options_.max_c);
 
   if (obs::Enabled()) {
     static obs::Counter* observations = obs::Metrics().GetCounter(
@@ -50,13 +59,13 @@ double TradeoffController::Observe(double free_bytes, double total_bytes) {
     (step[0] == 'd' ? down : step[0] == 'u' ? up : hold)->Increment();
     static obs::Gauge* c_gauge = obs::Metrics().GetGauge(
         "controller.c", "", "trade-off parameter c after the last Observe");
-    c_gauge->Set(c_);
+    c_gauge->Set(new_c);
     static obs::Gauge* free_gauge = obs::Metrics().GetGauge(
         "controller.smoothed_free_fraction", "",
         "EMA-smoothed free-memory fraction");
-    free_gauge->Set(smoothed_free_fraction_);
+    free_gauge->Set(new_smoothed);
   }
-  return c_;
+  return new_c;
 }
 
 }  // namespace adict

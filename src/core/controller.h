@@ -6,8 +6,16 @@
 // smoothed measurement with the target and adjusts c multiplicatively:
 // memory pressure lowers c (new dictionaries compress harder), head-room
 // raises it (new dictionaries favor speed).
+//
+// Thread safety: one controller is shared by every thread that merges or
+// rebuilds (CompressionManager is passed around by const reference), while a
+// background thread may feed Observe() concurrently. c_ and the smoothed
+// measurement are therefore guarded by a mutex — Observe/c/set_c are cold
+// (merge- and measurement-rate, not per-operation), so a lock is cheap.
 #ifndef ADICT_CORE_CONTROLLER_H_
 #define ADICT_CORE_CONTROLLER_H_
+
+#include "util/thread_annotations.h"
 
 namespace adict {
 
@@ -32,18 +40,30 @@ class TradeoffController {
 
   /// Feeds one measurement of (free, total) memory in bytes and returns the
   /// updated trade-off parameter c.
-  double Observe(double free_bytes, double total_bytes);
+  double Observe(double free_bytes, double total_bytes)
+      ADICT_EXCLUDES(mutex_);
 
-  double c() const { return c_; }
-  void set_c(double c) { c_ = c; }
+  double c() const ADICT_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
+    return c_;
+  }
+  void set_c(double c) ADICT_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
+    c_ = c;
+  }
 
   /// Smoothed free-memory fraction after the last Observe() call.
-  double smoothed_free_fraction() const { return smoothed_free_fraction_; }
+  double smoothed_free_fraction() const ADICT_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
+    return smoothed_free_fraction_;
+  }
 
  private:
   Options options_;
-  double c_;
-  double smoothed_free_fraction_ = -1.0;  // -1: no measurement yet
+  mutable Mutex mutex_;
+  double c_ ADICT_GUARDED_BY(mutex_);
+  double smoothed_free_fraction_ ADICT_GUARDED_BY(mutex_) =
+      -1.0;  // -1: no measurement yet
 };
 
 }  // namespace adict

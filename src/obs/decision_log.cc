@@ -12,7 +12,7 @@ DecisionLog::DecisionLog(size_t capacity) : capacity_(capacity) {
 }
 
 uint64_t DecisionLog::Push(DecisionRecord record) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   record.sequence = next_sequence_++;
   if (ring_.size() == capacity_) {
     ring_.pop_front();
@@ -23,7 +23,7 @@ uint64_t DecisionLog::Push(DecisionRecord record) {
 }
 
 bool DecisionLog::RecordActual(uint64_t sequence, double actual_dict_bytes) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   // Sequences are dense and ascending: the record's position, if still in
   // the ring, is its distance from the front entry's sequence.
   if (ring_.empty() || sequence < ring_.front().sequence ||
@@ -42,7 +42,7 @@ bool DecisionLog::RecordActual(uint64_t sequence, double actual_dict_bytes) {
 }
 
 bool DecisionLog::RecordFallback(uint64_t sequence, FallbackEvent event) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (ring_.empty() || sequence < ring_.front().sequence ||
       sequence > ring_.back().sequence) {
     return false;
@@ -56,7 +56,7 @@ bool DecisionLog::RecordActualForColumn(std::string_view column_id,
                                         double actual_dict_bytes) {
   uint64_t sequence = 0;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     for (auto it = ring_.rbegin(); it != ring_.rend(); ++it) {
       if (it->column_id == column_id && !it->has_actual()) {
         sequence = it->sequence;
@@ -68,32 +68,32 @@ bool DecisionLog::RecordActualForColumn(std::string_view column_id,
 }
 
 std::vector<DecisionRecord> DecisionLog::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return {ring_.begin(), ring_.end()};
 }
 
 PredictionAccuracy DecisionLog::accuracy() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return accuracy_;
 }
 
 size_t DecisionLog::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return ring_.size();
 }
 
 uint64_t DecisionLog::total_pushed() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return next_sequence_ - 1;
 }
 
 uint64_t DecisionLog::evicted() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return evicted_;
 }
 
 void DecisionLog::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   ring_.clear();
   next_sequence_ = 1;
   evicted_ = 0;

@@ -18,10 +18,11 @@
 
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace adict {
 namespace obs {
@@ -125,42 +126,44 @@ class DecisionLog {
 
   /// Appends `record`, assigning and returning its sequence number. Evicts
   /// the oldest entry when full.
-  uint64_t Push(DecisionRecord record);
+  uint64_t Push(DecisionRecord record) ADICT_EXCLUDES(mutex_);
 
   /// Patches the actual built size into the record with `sequence` and
   /// updates the accuracy accounting. Returns false if the record was
   /// already evicted or already has an actual size.
-  bool RecordActual(uint64_t sequence, double actual_dict_bytes);
+  bool RecordActual(uint64_t sequence, double actual_dict_bytes)
+      ADICT_EXCLUDES(mutex_);
 
   /// Same, addressing the *newest* record for `column_id` that has no
   /// actual size yet (for callers that rebuild by name, not by sequence).
   bool RecordActualForColumn(std::string_view column_id,
-                             double actual_dict_bytes);
+                             double actual_dict_bytes) ADICT_EXCLUDES(mutex_);
 
   /// Appends a degradation step to the record with `sequence`. Returns
   /// false if the record was already evicted.
-  bool RecordFallback(uint64_t sequence, FallbackEvent event);
+  bool RecordFallback(uint64_t sequence, FallbackEvent event)
+      ADICT_EXCLUDES(mutex_);
 
   /// Copies the current contents, oldest first.
-  std::vector<DecisionRecord> Snapshot() const;
+  std::vector<DecisionRecord> Snapshot() const ADICT_EXCLUDES(mutex_);
 
-  PredictionAccuracy accuracy() const;
+  PredictionAccuracy accuracy() const ADICT_EXCLUDES(mutex_);
 
   size_t capacity() const { return capacity_; }
-  size_t size() const;
-  uint64_t total_pushed() const;
-  uint64_t evicted() const;
+  size_t size() const ADICT_EXCLUDES(mutex_);
+  uint64_t total_pushed() const ADICT_EXCLUDES(mutex_);
+  uint64_t evicted() const ADICT_EXCLUDES(mutex_);
 
   /// Drops all records and zeroes the accounting. For tests.
-  void Clear();
+  void Clear() ADICT_EXCLUDES(mutex_);
 
  private:
   const size_t capacity_;
-  mutable std::mutex mutex_;
-  std::deque<DecisionRecord> ring_;  // oldest at front
-  uint64_t next_sequence_ = 1;
-  uint64_t evicted_ = 0;
-  PredictionAccuracy accuracy_;
+  mutable Mutex mutex_;
+  std::deque<DecisionRecord> ring_ ADICT_GUARDED_BY(mutex_);  // oldest first
+  uint64_t next_sequence_ ADICT_GUARDED_BY(mutex_) = 1;
+  uint64_t evicted_ ADICT_GUARDED_BY(mutex_) = 0;
+  PredictionAccuracy accuracy_ ADICT_GUARDED_BY(mutex_);
 };
 
 }  // namespace obs

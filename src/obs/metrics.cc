@@ -98,7 +98,7 @@ std::string_view MetricTypeName(MetricType type) {
 MetricsRegistry::Entry* MetricsRegistry::GetOrCreate(
     std::string_view name, MetricType type, std::string_view unit,
     std::string_view help, std::span<const double> bounds) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   const auto it = entries_.find(name);
   if (it != entries_.end()) {
     ADICT_CHECK_MSG(it->second.type == type,
@@ -146,7 +146,7 @@ Histogram* MetricsRegistry::GetHistogram(std::string_view name,
 }
 
 std::vector<const MetricsRegistry::Entry*> MetricsRegistry::Entries() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   std::vector<const Entry*> entries;
   entries.reserve(entries_.size());
   for (const auto& [name, entry] : entries_) entries.push_back(&entry);
@@ -154,7 +154,7 @@ std::vector<const MetricsRegistry::Entry*> MetricsRegistry::Entries() const {
 }
 
 void MetricsRegistry::ResetValues() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   for (auto& [name, entry] : entries_) {
     switch (entry.type) {
       case MetricType::kCounter:

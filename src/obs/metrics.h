@@ -20,13 +20,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "util/stopwatch.h"
+#include "util/thread_annotations.h"
 
 namespace adict {
 namespace obs {
@@ -125,20 +125,22 @@ class MetricsRegistry {
                           std::string_view help = "");
 
   /// Stable pointers to all registered entries, sorted by name.
-  std::vector<const Entry*> Entries() const;
+  std::vector<const Entry*> Entries() const ADICT_EXCLUDES(mutex_);
 
   /// Zeroes every value but keeps all registrations (so cached metric
   /// pointers at instrumentation sites stay valid). For tests.
-  void ResetValues();
+  void ResetValues() ADICT_EXCLUDES(mutex_);
 
  private:
   Entry* GetOrCreate(std::string_view name, MetricType type,
                      std::string_view unit, std::string_view help,
-                     std::span<const double> bounds);
+                     std::span<const double> bounds) ADICT_EXCLUDES(mutex_);
 
-  mutable std::mutex mutex_;
-  // Node-based map: Entry addresses are stable across insertions.
-  std::map<std::string, Entry, std::less<>> entries_;
+  mutable Mutex mutex_;
+  // Node-based map: Entry addresses are stable across insertions. The map
+  // is guarded; the Counter/Gauge/Histogram values inside an Entry are
+  // lock-free atomics and are deliberately read/written without the mutex.
+  std::map<std::string, Entry, std::less<>> entries_ ADICT_GUARDED_BY(mutex_);
 };
 
 /// RAII timer recording its lifetime into a histogram, in microseconds.

@@ -123,7 +123,7 @@ Tracer::ThreadBuffer* Tracer::LocalBuffer() {
   if (inserted) {
     auto fresh = std::make_unique<ThreadBuffer>();
     fresh->events.resize(per_thread_capacity());
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     fresh->tid = static_cast<uint32_t>(buffers_.size() + 1);
     it->second = fresh.get();
     buffers_.push_back(std::move(fresh));
@@ -134,7 +134,7 @@ Tracer::ThreadBuffer* Tracer::LocalBuffer() {
 }
 
 std::vector<TraceEvent> Tracer::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   std::vector<TraceEvent> events;
   for (const std::unique_ptr<ThreadBuffer>& buffer : buffers_) {
     const size_t n = std::min(
@@ -147,7 +147,7 @@ std::vector<TraceEvent> Tracer::Snapshot() const {
 }
 
 void Tracer::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   for (const std::unique_ptr<ThreadBuffer>& buffer : buffers_) {
     buffer->committed.store(0, std::memory_order_release);
   }

@@ -28,9 +28,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace adict {
 namespace obs {
@@ -66,7 +67,7 @@ class Tracer {
   /// All completed spans, every thread, in per-thread completion order.
   /// Safe against concurrent recording (writers publish each event with a
   /// release store); a snapshot is a consistent prefix per thread.
-  std::vector<TraceEvent> Snapshot() const;
+  std::vector<TraceEvent> Snapshot() const ADICT_EXCLUDES(mutex_);
 
   /// Spans dropped because a thread's buffer was full.
   uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
@@ -74,7 +75,7 @@ class Tracer {
   /// Drops all recorded events (registrations and capacity stay). Call when
   /// no thread is mid-span; clearing concurrently with recording may tear
   /// the events recorded during the call.
-  void Clear();
+  void Clear() ADICT_EXCLUDES(mutex_);
 
   /// Applies to buffers of threads that first record *after* the call;
   /// existing per-thread buffers keep their capacity. Call before tracing.
@@ -100,7 +101,7 @@ class Tracer {
   };
 
   /// The calling thread's buffer, registering it on first use.
-  ThreadBuffer* LocalBuffer();
+  ThreadBuffer* LocalBuffer() ADICT_EXCLUDES(mutex_);
 
   void RecordDropped() { dropped_.fetch_add(1, std::memory_order_relaxed); }
 
@@ -109,8 +110,12 @@ class Tracer {
   /// never be confused with a later one allocated at the same address.
   const uint64_t id_;
 
-  mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  mutable Mutex mutex_;
+  // The vector of registrations is guarded; each ThreadBuffer's contents
+  // are written lock-free by the owning thread and published through
+  // `committed` (release/acquire), so they are deliberately unguarded.
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_
+      ADICT_GUARDED_BY(mutex_);
   std::atomic<size_t> per_thread_capacity_{kDefaultPerThreadCapacity};
   std::atomic<uint64_t> dropped_{0};
 };

@@ -10,8 +10,10 @@
 #ifndef ADICT_STORE_STRING_COLUMN_H_
 #define ADICT_STORE_STRING_COLUMN_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/tradeoff.h"
@@ -37,6 +39,27 @@ class StringColumn {
   /// Empty placeholder column (no dictionary); assign a built column before
   /// using any accessor.
   StringColumn() = default;
+
+  // Move-only (the dictionary is uniquely owned). The usage counters are
+  // relaxed atomics — a read-only column is shared across scan threads and
+  // every const accessor counts its access — so moves copy their values
+  // explicitly; moving happens at build/merge time, before the column is
+  // shared, never concurrently with readers.
+  StringColumn(StringColumn&& other) noexcept
+      : dict_(std::move(other.dict_)),
+        vector_(std::move(other.vector_)),
+        num_extracts_(
+            other.num_extracts_.load(std::memory_order_relaxed)),
+        num_locates_(other.num_locates_.load(std::memory_order_relaxed)) {}
+  StringColumn& operator=(StringColumn&& other) noexcept {
+    dict_ = std::move(other.dict_);
+    vector_ = std::move(other.vector_);
+    num_extracts_.store(other.num_extracts_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    num_locates_.store(other.num_locates_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    return *this;
+  }
 
   /// Builds from raw row values with an explicit dictionary format.
   static StringColumn FromValues(std::span<const std::string> values,
@@ -68,7 +91,7 @@ class StringColumn {
 
   /// Dictionary lookup (counted as one locate).
   LocateResult Locate(std::string_view value) const {
-    ++usage_.num_locates;
+    num_locates_.fetch_add(1, std::memory_order_relaxed);
     if (obs::Enabled()) {
       static obs::Counter* locates = obs::Metrics().GetCounter(
           "dict.locate.count", "calls", "dictionary locate calls");
@@ -89,7 +112,7 @@ class StringColumn {
                       const std::function<void(uint32_t, std::string_view)>&
                           fn) const {
     ADICT_TRACE_SPAN("column.scan_dictionary");
-    usage_.num_extracts += count;
+    num_extracts_.fetch_add(count, std::memory_order_relaxed);
     if (obs::Enabled()) {
       static obs::Counter* scanned = obs::Metrics().GetCounter(
           "dict.scan.entries", "entries", "entries read via dictionary scans");
@@ -131,17 +154,22 @@ class StringColumn {
   /// lifetime and column vector size fields are filled in, the counters
   /// reflect the traced accesses.
   ColumnUsage TracedUsage(double lifetime_seconds) const {
-    ColumnUsage usage = usage_;
+    ColumnUsage usage;
+    usage.num_extracts = num_extracts_.load(std::memory_order_relaxed);
+    usage.num_locates = num_locates_.load(std::memory_order_relaxed);
     usage.lifetime_seconds = lifetime_seconds;
     usage.column_vector_bytes = VectorBytes();
     return usage;
   }
-  void ResetUsage() { usage_ = ColumnUsage{}; }
+  void ResetUsage() {
+    num_extracts_.store(0, std::memory_order_relaxed);
+    num_locates_.store(0, std::memory_order_relaxed);
+  }
 
  private:
   /// Bumps both the per-column usage trace and the global extract counter.
   void CountExtracts(uint64_t n) const {
-    usage_.num_extracts += n;
+    num_extracts_.fetch_add(n, std::memory_order_relaxed);
     if (obs::Enabled()) {
       static obs::Counter* extracts = obs::Metrics().GetCounter(
           "dict.extract.count", "calls", "dictionary extract calls");
@@ -151,7 +179,12 @@ class StringColumn {
 
   std::unique_ptr<Dictionary> dict_;
   ColumnVector vector_;
-  mutable ColumnUsage usage_;
+  // Usage trace; relaxed atomics so concurrent readers of a shared column
+  // can count their accesses without a data race (TSan-checked in
+  // tests/concurrency_test.cc). Counts may interleave with TracedUsage()
+  // reads — fine for a usage trace, which only feeds the format decision.
+  mutable std::atomic<uint64_t> num_extracts_{0};
+  mutable std::atomic<uint64_t> num_locates_{0};
 };
 
 }  // namespace adict

@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <cstdlib>
-#include <mutex>
 #include <unordered_map>
+
+#include "util/thread_annotations.h"
 
 namespace adict {
 namespace failpoint {
@@ -22,31 +23,31 @@ class Registry {
   }
 
   void Enable(std::string_view name, const Spec& spec) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     PointState& state = points_[std::string(name)];
     state.spec = spec;
     state.hits = 0;
   }
 
   void Disable(std::string_view name) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     const auto it = points_.find(std::string(name));
     if (it != points_.end()) it->second.spec = Spec::Off();
   }
 
   void DisableAll() {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     points_.clear();
   }
 
   uint64_t HitCount(std::string_view name) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     const auto it = points_.find(std::string(name));
     return it == points_.end() ? 0 : it->second.hits;
   }
 
   std::vector<std::string> ActiveNames() {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     std::vector<std::string> names;
     for (const auto& [name, state] : points_) {
       if (state.spec.mode != Spec::Mode::kOff) names.push_back(name);
@@ -56,12 +57,12 @@ class Registry {
   }
 
   void SetSeed(uint64_t seed) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     rng_state_ = seed != 0 ? seed : 1;
   }
 
   bool ShouldFail(std::string_view name) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     PointState& state = points_[std::string(name)];
     const uint64_t hit = ++state.hits;
     switch (state.spec.mode) {
@@ -80,10 +81,13 @@ class Registry {
   }
 
  private:
-  Registry() { LoadFromEnv(); }
+  Registry() {
+    MutexLock lock(&mutex_);
+    LoadFromEnv();
+  }
 
   // splitmix64: deterministic, seedable, no <random> heft.
-  double NextUniform() {
+  double NextUniform() ADICT_REQUIRES(mutex_) {
     rng_state_ += 0x9E3779B97F4A7C15ull;
     uint64_t z = rng_state_;
     z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
@@ -92,7 +96,7 @@ class Registry {
     return static_cast<double>(z >> 11) * 0x1.0p-53;
   }
 
-  void LoadFromEnv() {
+  void LoadFromEnv() ADICT_REQUIRES(mutex_) {
     const char* env = std::getenv("ADICT_FAILPOINTS");
     if (env == nullptr) return;
     std::string_view rest(env);
@@ -112,9 +116,9 @@ class Registry {
     }
   }
 
-  std::mutex mutex_;
-  std::unordered_map<std::string, PointState> points_;
-  uint64_t rng_state_ = 0x5DEECE66Dull;
+  Mutex mutex_;
+  std::unordered_map<std::string, PointState> points_ ADICT_GUARDED_BY(mutex_);
+  uint64_t rng_state_ ADICT_GUARDED_BY(mutex_) = 0x5DEECE66Dull;
 };
 
 bool ParseUint(std::string_view text, uint64_t* out) {

@@ -33,8 +33,11 @@ enum class StatusCode : uint8_t {
 std::string_view StatusCodeName(StatusCode code);
 
 /// Error code plus human-readable context. Cheap to move; an OK status
-/// carries no message.
-class Status {
+/// carries no message. [[nodiscard]]: silently dropping a Status turns an
+/// expected failure into silent corruption, so discarding one is a
+/// compile-time warning (-Werror in CI) — the adict_lint nodiscard audit
+/// backstops call sites the compiler cannot see.
+class [[nodiscard]] Status {
  public:
   Status() = default;
   Status(StatusCode code, std::string_view message)
@@ -111,7 +114,7 @@ inline std::string_view StatusCodeName(StatusCode code) {
 /// Either a value or a non-OK Status. Accessing the value of an errored
 /// StatusOr is a programming error (checked).
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Implicit from an error status (must not be OK: an OK StatusOr needs a
   /// value).

@@ -1,0 +1,330 @@
+// Tests for tools/adict_lint.py, the repo-invariant checker.
+//
+// The lint's job is to catch cross-surface drift that the compiler cannot:
+// a 19th format added to the enum but not the size model, a metric that
+// never reaches docs/observability.md, a span missing from the catalog, a
+// silently discarded Status. Each test here seeds exactly that violation
+// into a synthetic mini-repo and asserts the lint fails with a pointed
+// message; one test runs the lint over the real tree, which must be clean.
+//
+// The mini-repo mirrors only the files the lint reads (see adict_lint.py's
+// parsers); it uses two formats instead of eighteen to keep the fixtures
+// readable.
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#ifndef ADICT_SOURCE_DIR
+#error "tests/CMakeLists.txt must define ADICT_SOURCE_DIR"
+#endif
+
+namespace adict {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct LintResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr, interleaved
+};
+
+LintResult RunLint(const fs::path& root) {
+  const std::string command = std::string("python3 '") + ADICT_SOURCE_DIR +
+                              "/tools/adict_lint.py' --root '" +
+                              root.string() + "' 2>&1";
+  LintResult result;
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return result;
+  char buffer[4096];
+  size_t n;
+  while ((n = fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+    result.output.append(buffer, n);
+  }
+  const int status = pclose(pipe);
+  if (status >= 0 && WIFEXITED(status)) {
+    result.exit_code = WEXITSTATUS(status);
+  }
+  return result;
+}
+
+class LintTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (std::system("python3 --version > /dev/null 2>&1") != 0) {
+      GTEST_SKIP() << "python3 not available";
+    }
+    root_ = fs::temp_directory_path() /
+            ("adict_lint_test_" + std::to_string(::getpid()));
+    fs::remove_all(root_);
+    WriteCleanTree();
+  }
+
+  void TearDown() override {
+    if (!root_.empty()) fs::remove_all(root_);
+  }
+
+  void Write(const std::string& relative, const std::string& content) {
+    const fs::path path = root_ / relative;
+    fs::create_directories(path.parent_path());
+    std::ofstream out(path, std::ios::trunc);
+    out << content;
+    ASSERT_TRUE(out.good()) << "writing " << path;
+  }
+
+  void Append(const std::string& relative, const std::string& content) {
+    std::ofstream out(root_ / relative, std::ios::app);
+    out << content;
+    ASSERT_TRUE(out.good()) << "appending to " << (root_ / relative);
+  }
+
+  // A minimal tree on which every check passes: two formats, one metric,
+  // one span, one Status-returning function.
+  void WriteCleanTree() {
+    Write("src/dict/dictionary.h", R"lint(
+enum class DictFormat {
+  kArray,
+  kFcBlock,
+};
+inline constexpr int kNumDictFormats = 2;
+)lint");
+    Write("src/dict/dictionary.cc", R"lint(
+const char* DictFormatName(DictFormat format) {
+  switch (format) {
+    case DictFormat::kArray: return "array";
+    case DictFormat::kFcBlock: return "fc block";
+  }
+  return "";
+}
+)lint");
+    Write("src/core/size_model.cc", R"lint(
+double PredictSize(DictFormat format) {
+  switch (format) {
+    case DictFormat::kArray: return 1;
+    case DictFormat::kFcBlock: return 2;
+  }
+  return 0;
+}
+)lint");
+    Write("src/dict/serialization.cc", R"lint(
+void SerializePayload(DictFormat format) {
+  switch (format) {
+    case DictFormat::kArray: break;
+    case DictFormat::kFcBlock: break;
+  }
+}
+)lint");
+    Write("src/core/build_guard.cc", R"lint(
+void Degrade() {
+  std::array<DictFormat, 2> chain = {DictFormat::kFcBlock,
+                                     DictFormat::kArray};
+}
+)lint");
+    Write("src/util/status.h", R"lint(
+class [[nodiscard]] Status {};
+template <typename T>
+class [[nodiscard]] StatusOr {};
+)lint");
+    Write("src/obs/instrumented.cc", R"lint(
+Status DoThing();
+
+void Touch() {
+  Metrics().GetCounter("mini.counter")->Increment();
+  ADICT_TRACE_SPAN("mini.span");
+}
+
+Status Caller() {
+  return DoThing();
+}
+)lint");
+    Write("BENCH_core.json",
+          R"lint([{"format": "array"}, {"format": "fc block"}])lint");
+    Write("docs/format_layouts.md", R"lint(# Layouts
+
+| Tag | Enum | Paper name |
+|---|---|---|
+| 0 | `kArray` | `array` |
+| 1 | `kFcBlock` | `fc block` |
+)lint");
+    Write("docs/observability.md", R"lint(# Observability
+
+## Metric reference
+
+| Name | Unit |
+|---|---|
+| `mini.counter` | calls |
+
+Per-format counters: `manager.chosen.array` and `manager.chosen.fc_block`.
+
+## Tracing
+
+### Span catalog
+
+| Span | What |
+|---|---|
+| `mini.span` | the one span |
+)lint");
+    // The lint also scans examples/ and bench/ for spans.
+    Write("examples/README.md", "placeholder\n");
+    Write("bench/README.md", "placeholder\n");
+  }
+
+  fs::path root_;
+};
+
+TEST_F(LintTest, CleanMiniTreePasses) {
+  const LintResult result = RunLint(root_);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("adict_lint: OK"), std::string::npos)
+      << result.output;
+}
+
+// The committed tree must satisfy its own lint.
+TEST_F(LintTest, RealTreeIsClean) {
+  const LintResult result = RunLint(fs::path(ADICT_SOURCE_DIR));
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+}
+
+// A 19th (here: 3rd) format added to the enum alone must be flagged on
+// every surface it is missing from.
+TEST_F(LintTest, FormatAddedOnlyToEnum) {
+  Write("src/dict/dictionary.h", R"lint(
+enum class DictFormat {
+  kArray,
+  kFcBlock,
+  kExtra,
+};
+inline constexpr int kNumDictFormats = 2;
+)lint");
+  const LintResult result = RunLint(root_);
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find("kNumDictFormats is 2"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find(
+                "DictFormat::kExtra is in the enum but missing from the "
+                "SizeModel per-format switch"),
+            std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("serde payload dispatch"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find(
+                "DictFormat::kExtra is missing from the format table"),
+            std::string::npos)
+      << result.output;
+}
+
+TEST_F(LintTest, UndocumentedMetric) {
+  Append("src/obs/instrumented.cc", R"lint(
+void TouchMore() {
+  Metrics().GetCounter("mini.undocumented")->Increment();
+}
+)lint");
+  const LintResult result = RunLint(root_);
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find("metric \"mini.undocumented\" is registered "
+                               "here but not documented"),
+            std::string::npos)
+      << result.output;
+}
+
+TEST_F(LintTest, StaleMetricDocRow) {
+  Write("docs/observability.md", R"lint(# Observability
+
+## Metric reference
+
+| Name | Unit |
+|---|---|
+| `mini.counter` | calls |
+| `mini.ghost` | calls |
+
+Per-format counters: `manager.chosen.array` and `manager.chosen.fc_block`.
+
+## Tracing
+
+### Span catalog
+
+| Span | What |
+|---|---|
+| `mini.span` | the one span |
+)lint");
+  const LintResult result = RunLint(root_);
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find("documented metric \"mini.ghost\" is not "
+                               "registered anywhere"),
+            std::string::npos)
+      << result.output;
+}
+
+TEST_F(LintTest, UncataloguedSpan) {
+  Append("src/obs/instrumented.cc", R"lint(
+void TraceMore() {
+  ADICT_TRACE_SPAN("mini.rogue");
+}
+)lint");
+  const LintResult result = RunLint(root_);
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find("span \"mini.rogue\" is opened here but "
+                               "missing from the span catalog"),
+            std::string::npos)
+      << result.output;
+}
+
+TEST_F(LintTest, DiscardedStatus) {
+  Append("src/obs/instrumented.cc", R"lint(
+void Sloppy() {
+  DoThing();
+}
+)lint");
+  const LintResult result = RunLint(root_);
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find("result of Status-returning `DoThing(...)` "
+                               "is silently discarded"),
+            std::string::npos)
+      << result.output;
+}
+
+TEST_F(LintTest, GuardChainMustEndInArray) {
+  Write("src/core/build_guard.cc", R"lint(
+void Degrade() {
+  std::array<DictFormat, 2> chain = {DictFormat::kArray,
+                                     DictFormat::kFcBlock};
+}
+)lint");
+  const LintResult result = RunLint(root_);
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(
+      result.output.find("degradation chain must terminate in "
+                         "DictFormat::kArray"),
+      std::string::npos)
+      << result.output;
+}
+
+TEST_F(LintTest, BaselineMissingFormatRows) {
+  Write("BENCH_core.json", R"lint([{"format": "array"}])lint");
+  const LintResult result = RunLint(root_);
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find("format \"fc block\" (DictFormat::kFcBlock) "
+                               "has no rows in the committed perf baseline"),
+            std::string::npos)
+      << result.output;
+}
+
+// Structural breakage (a missing file) is exit 2, distinct from violations
+// — CI must not mistake "the lint could not run" for "the lint passed".
+TEST_F(LintTest, MissingFileIsAnError) {
+  fs::remove(root_ / "src/core/size_model.cc");
+  const LintResult result = RunLint(root_);
+  EXPECT_EQ(result.exit_code, 2) << result.output;
+  EXPECT_NE(result.output.find("adict_lint: error"), std::string::npos)
+      << result.output;
+}
+
+}  // namespace
+}  // namespace adict
