@@ -20,6 +20,7 @@ set(ADICT_BENCH_SOURCES
   bench/survey_locate_construct.cc
   bench/dict_ops_benchmark.cc
   bench/perf_regression.cc
+  bench/throughput_over_clients.cc
 )
 
 foreach(bench_source ${ADICT_BENCH_SOURCES})

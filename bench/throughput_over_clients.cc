@@ -1,0 +1,230 @@
+// Throughput scaling of the morsel-parallel TPC-H engine, along two axes:
+//
+//   scale_threads — one client, pool parallelism swept over 1, 2, 4, 8
+//     (SetPoolParallelism between quiescent phases). Measures how far a
+//     single query's morsels spread over cores: Q1/Q6 latency and the
+//     combined queries/sec at each width.
+//   scale_clients — pool fixed at the ADICT_THREADS default, concurrent
+//     client threads swept over 1, 2, 4, 8, each running the Q1+Q6 loop
+//     against the same tables. Measures aggregate throughput when many
+//     queries contend for the same lanes (and the same columns — reads are
+//     snapshot-safe, see docs/parallelism.md).
+//
+// Results are JSON rows ({bench, mode, threads, clients, metric, value,
+// unit, rss_bytes, git_sha}) written to BENCH_threads.json — the threads
+// sibling of BENCH_core.json. Absolute numbers are machine-dependent; CI
+// runs --quick, validates the schema, and uploads the artifact without
+// gating on timings (a 2-core runner cannot show an 8-way speedup).
+//
+//   $ ./build/bench/throughput_over_clients            # SF 0.1, full sweep
+//   $ ./build/bench/throughput_over_clients --quick    # CI smoke scale
+//   $ ./build/bench/throughput_over_clients --sf 0.5 --out /tmp/t.json
+#include <algorithm>
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+using namespace adict;
+
+namespace {
+
+struct Config {
+  double scale_factor = 0.1;
+  int reps = 20;  // Q1+Q6 pairs per measurement
+  std::vector<size_t> sweep = {1, 2, 4, 8};
+  std::string out_path = "BENCH_threads.json";
+};
+
+struct Row {
+  std::string bench;   // tpch_q1 | tpch_q6 | tpch_q1q6
+  std::string mode;    // scale_threads | scale_clients
+  size_t threads = 1;  // pool parallelism (workers + caller)
+  size_t clients = 1;  // concurrent query threads
+  std::string metric;  // mean_ms | queries_per_sec
+  double value = 0;
+  std::string unit;  // ms | qps
+};
+
+uint64_t CurrentRssBytes() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  uint64_t rss_kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::sscanf(line, "VmRSS: %" SCNu64 " kB", &rss_kb) == 1) break;
+  }
+  std::fclose(f);
+  return rss_kb * 1024;
+}
+
+std::string GitSha() {
+  if (const char* env = std::getenv("GITHUB_SHA"); env != nullptr) return env;
+  std::string sha;
+  if (std::FILE* pipe = popen("git rev-parse HEAD 2>/dev/null", "r")) {
+    char buf[128];
+    if (std::fgets(buf, sizeof(buf), pipe) != nullptr) sha = buf;
+    pclose(pipe);
+  }
+  while (!sha.empty() && std::isspace(static_cast<unsigned char>(sha.back()))) {
+    sha.pop_back();
+  }
+  return sha.empty() ? "unknown" : sha;
+}
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char ch : s) {
+    if (ch == '"' || ch == '\\') out->push_back('\\');
+    out->push_back(ch);
+  }
+  out->push_back('"');
+}
+
+/// Flat JSON array, one object per row: the BENCH_threads.json schema.
+std::string RowsToJson(const std::vector<Row>& rows, uint64_t rss_bytes,
+                       const std::string& git_sha) {
+  std::string out = "[\n";
+  char buf[64];
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    out.append("  {\"bench\":");
+    AppendJsonString(&out, row.bench);
+    out.append(",\"mode\":");
+    AppendJsonString(&out, row.mode);
+    std::snprintf(buf, sizeof(buf), ",\"threads\":%zu", row.threads);
+    out.append(buf);
+    std::snprintf(buf, sizeof(buf), ",\"clients\":%zu", row.clients);
+    out.append(buf);
+    out.append(",\"metric\":");
+    AppendJsonString(&out, row.metric);
+    std::snprintf(buf, sizeof(buf), ",\"value\":%.6g", row.value);
+    out.append(buf);
+    out.append(",\"unit\":");
+    AppendJsonString(&out, row.unit);
+    std::snprintf(buf, sizeof(buf), ",\"rss_bytes\":%llu",
+                  static_cast<unsigned long long>(rss_bytes));
+    out.append(buf);
+    out.append(",\"git_sha\":");
+    AppendJsonString(&out, git_sha);
+    out.push_back('}');
+    if (i + 1 < rows.size()) out.push_back(',');
+    out.push_back('\n');
+  }
+  out.append("]\n");
+  return out;
+}
+
+/// Mean latency in ms of `reps` runs of query `q`.
+double MeanQueryMs(const TpchDatabase& db, int q, int reps) {
+  Stopwatch watch;
+  for (int r = 0; r < reps; ++r) (void)RunTpchQuery(db, q);
+  return watch.ElapsedSeconds() * 1e3 / reps;
+}
+
+/// One-client sweep over pool parallelism. The pool resize happens while no
+/// query is running (quiescence contract of SetPoolParallelism).
+void RunThreadSweep(const TpchDatabase& db, const Config& config,
+                    std::vector<Row>* rows) {
+  for (size_t threads : config.sweep) {
+    SetPoolParallelism(threads);
+    (void)RunTpchQuery(db, 1);  // warm caches before timing
+    (void)RunTpchQuery(db, 6);
+    const double q1_ms = MeanQueryMs(db, 1, config.reps);
+    const double q6_ms = MeanQueryMs(db, 6, config.reps);
+    const double pair_qps = 2e3 / (q1_ms + q6_ms);
+    rows->push_back(
+        {"tpch_q1", "scale_threads", threads, 1, "mean_ms", q1_ms, "ms"});
+    rows->push_back(
+        {"tpch_q6", "scale_threads", threads, 1, "mean_ms", q6_ms, "ms"});
+    rows->push_back({"tpch_q1q6", "scale_threads", threads, 1,
+                     "queries_per_sec", pair_qps, "qps"});
+    std::fprintf(stderr,
+                 "threads=%zu  q1 %.2f ms  q6 %.2f ms  %.1f queries/s\n",
+                 threads, q1_ms, q6_ms, pair_qps);
+  }
+}
+
+/// Concurrent-client sweep at a fixed pool width: every client runs the
+/// full Q1+Q6 loop, all clients share the pool and the columns.
+void RunClientSweep(const TpchDatabase& db, const Config& config,
+                    std::vector<Row>* rows) {
+  SetPoolParallelism(DefaultPoolParallelism());
+  const size_t pool_threads = PoolParallelism();
+  for (size_t clients : config.sweep) {
+    Stopwatch watch;
+    std::vector<std::thread> workers;
+    workers.reserve(clients);
+    for (size_t c = 0; c < clients; ++c) {
+      workers.emplace_back([&db, &config] {
+        for (int r = 0; r < config.reps; ++r) {
+          (void)RunTpchQuery(db, 1);
+          (void)RunTpchQuery(db, 6);
+        }
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+    const double seconds = watch.ElapsedSeconds();
+    const double qps = 2.0 * config.reps * clients / seconds;
+    rows->push_back({"tpch_q1q6", "scale_clients", pool_threads, clients,
+                     "queries_per_sec", qps, "qps"});
+    std::fprintf(stderr, "clients=%zu (pool %zu)  %.1f queries/s\n", clients,
+                 pool_threads, qps);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      config.scale_factor = 0.01;
+      config.reps = 3;
+      config.sweep = {1, 2};
+    } else if (arg == "--sf" && i + 1 < argc) {
+      config.scale_factor = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--reps" && i + 1 < argc) {
+      config.reps = std::atoi(argv[++i]);
+    } else if (arg == "--out" && i + 1 < argc) {
+      config.out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--sf N] [--reps N] [--out PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  TpchOptions options;
+  options.scale_factor = config.scale_factor;
+  std::fprintf(stderr, "generating TPC-H at SF %.3g...\n",
+               config.scale_factor);
+  const TpchDatabase db = GenerateTpch(options);
+
+  std::vector<Row> rows;
+  RunThreadSweep(db, config, &rows);
+  RunClientSweep(db, config, &rows);
+
+  const std::string json = RowsToJson(rows, CurrentRssBytes(), GitSha());
+  std::FILE* out = std::fopen(config.out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", config.out_path.c_str());
+    return 1;
+  }
+  std::fputs(json.c_str(), out);
+  std::fclose(out);
+  std::fprintf(stderr, "wrote %zu rows to %s\n", rows.size(),
+               config.out_path.c_str());
+  return 0;
+}

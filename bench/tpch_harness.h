@@ -43,8 +43,8 @@ inline std::vector<TracedColumn> TraceTpchWorkload(TpchDatabase* db,
 
   std::vector<TracedColumn> traced;
   for (Table* table : db->tables()) {
-    for (size_t i = 0; i < table->string_columns().size(); ++i) {
-      StringColumn& column = table->string_columns()[i];
+    for (size_t i = 0; i < table->num_string_columns(); ++i) {
+      StringColumn& column = table->string_column(i).current();
       ColumnUsage usage = column.TracedUsage(lifetime);
       usage.num_extracts *= multiplier;
       usage.num_locates *= multiplier;
@@ -83,7 +83,7 @@ inline void ApplyConfiguration(const std::vector<TracedColumn>& traced,
                                const std::vector<DictFormat>& formats) {
   for (size_t i = 0; i < traced.size(); ++i) {
     StringColumn& column =
-        traced[i].table->string_columns()[traced[i].column_index];
+        traced[i].table->string_column(traced[i].column_index).current();
     column.ChangeFormat(formats[i]);
     obs::Decisions().RecordActualForColumn(
         traced[i].name, static_cast<double>(column.DictionaryBytes()));

@@ -58,8 +58,8 @@ int main(int argc, char** argv) {
   manager.set_c(0.1);
   std::printf("workload-driven configuration (c = %.1f):\n", manager.c());
   for (Table* table : db.tables()) {
-    for (size_t i = 0; i < table->string_columns().size(); ++i) {
-      StringColumn& column = table->string_columns()[i];
+    for (size_t i = 0; i < table->num_string_columns(); ++i) {
+      StringColumn& column = table->string_column(i).current();
       ColumnUsage usage = column.TracedUsage(lifetime);
       usage.num_extracts *= 100;
       usage.num_locates *= 100;

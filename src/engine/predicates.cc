@@ -1,5 +1,7 @@
 #include "engine/predicates.h"
 
+#include "engine/parallel.h"
+
 namespace adict {
 
 IdRange EqIds(const StringColumn& column, std::string_view value) {
@@ -51,6 +53,9 @@ std::vector<bool> ContainsIds(const StringColumn& column,
 
 std::vector<bool> ContainsAllIds(const StringColumn& column,
                                  std::span<const std::string_view> needles) {
+  if (ShouldParallelize(column.num_distinct(), kMorselDictEntries)) {
+    return ParallelContainsAllIds(column, needles);
+  }
   std::vector<bool> flags(column.num_distinct(), false);
   // Sequential dictionary scan: block-based formats decode each block once.
   column.ScanDictionary(

@@ -1,58 +1,99 @@
 #include "engine/scan.h"
 
+#include "engine/parallel.h"
 #include "obs/trace.h"
 
 namespace adict {
 
-std::vector<uint32_t> SelectRows(const StringColumn& column,
-                                 const IdRange& range) {
-  ADICT_TRACE_SPAN("engine.select_rows");
-  std::vector<uint32_t> rows;
-  if (range.empty()) return rows;
-  const uint64_t n = column.num_rows();
-  for (uint64_t row = 0; row < n; ++row) {
+// -- Morsel cores -------------------------------------------------------------
+
+void SelectRowsInto(const StringColumn& column, const IdRange& range,
+                    uint64_t row_begin, uint64_t row_end,
+                    std::vector<uint32_t>* out) {
+  for (uint64_t row = row_begin; row < row_end; ++row) {
     if (range.Contains(column.GetValueId(row))) {
-      rows.push_back(static_cast<uint32_t>(row));
+      out->push_back(static_cast<uint32_t>(row));
     }
   }
+}
+
+void SelectRowsInto(const StringColumn& column,
+                    const std::vector<bool>& id_flags, uint64_t row_begin,
+                    uint64_t row_end, std::vector<uint32_t>* out) {
+  for (uint64_t row = row_begin; row < row_end; ++row) {
+    if (id_flags[column.GetValueId(row)]) {
+      out->push_back(static_cast<uint32_t>(row));
+    }
+  }
+}
+
+void RefineRowsInto(const StringColumn& column,
+                    std::span<const uint32_t> rows, const IdRange& range,
+                    std::vector<uint32_t>* out) {
+  for (uint32_t row : rows) {
+    if (range.Contains(column.GetValueId(row))) {
+      out->push_back(row);
+    }
+  }
+}
+
+uint64_t CountRowsIn(const StringColumn& column, const IdRange& range,
+                     uint64_t row_begin, uint64_t row_end) {
+  uint64_t count = 0;
+  for (uint64_t row = row_begin; row < row_end; ++row) {
+    count += range.Contains(column.GetValueId(row));
+  }
+  return count;
+}
+
+// -- Entry points -------------------------------------------------------------
+//
+// Each entry point hands large columns to the morsel-parallel driver when
+// the process-wide pool is parallel; the serial path and the parallel path
+// produce identical row vectors (morsels concatenate in morsel order).
+
+std::vector<uint32_t> SelectRows(const StringColumn& column,
+                                 const IdRange& range) {
+  if (range.empty()) return {};
+  if (ShouldParallelize(column.num_rows(), kMorselRows)) {
+    return ParallelSelectRows(column, range);
+  }
+  ADICT_TRACE_SPAN("engine.select_rows");
+  std::vector<uint32_t> rows;
+  SelectRowsInto(column, range, 0, column.num_rows(), &rows);
   return rows;
 }
 
 std::vector<uint32_t> SelectRows(const StringColumn& column,
                                  const std::vector<bool>& id_flags) {
+  if (ShouldParallelize(column.num_rows(), kMorselRows)) {
+    return ParallelSelectRows(column, id_flags);
+  }
   ADICT_TRACE_SPAN("engine.select_rows");
   std::vector<uint32_t> rows;
-  const uint64_t n = column.num_rows();
-  for (uint64_t row = 0; row < n; ++row) {
-    if (id_flags[column.GetValueId(row)]) {
-      rows.push_back(static_cast<uint32_t>(row));
-    }
-  }
+  SelectRowsInto(column, id_flags, 0, column.num_rows(), &rows);
   return rows;
 }
 
 std::vector<uint32_t> RefineRows(const StringColumn& column,
                                  const std::vector<uint32_t>& rows,
                                  const IdRange& range) {
+  if (range.empty()) return {};
+  if (ShouldParallelize(rows.size(), kMorselRows)) {
+    return ParallelRefineRows(column, rows, range);
+  }
   ADICT_TRACE_SPAN("engine.refine_rows");
   std::vector<uint32_t> refined;
-  if (range.empty()) return refined;
-  for (uint32_t row : rows) {
-    if (range.Contains(column.GetValueId(row))) {
-      refined.push_back(row);
-    }
-  }
+  RefineRowsInto(column, rows, range, &refined);
   return refined;
 }
 
 uint64_t CountRows(const StringColumn& column, const IdRange& range) {
   if (range.empty()) return 0;
-  uint64_t count = 0;
-  const uint64_t n = column.num_rows();
-  for (uint64_t row = 0; row < n; ++row) {
-    count += range.Contains(column.GetValueId(row));
+  if (ShouldParallelize(column.num_rows(), kMorselRows)) {
+    return ParallelCountRows(column, range);
   }
-  return count;
+  return CountRowsIn(column, range, 0, column.num_rows());
 }
 
 }  // namespace adict

@@ -8,6 +8,7 @@
 #define ADICT_ENGINE_SCAN_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "engine/predicates.h"
@@ -30,6 +31,32 @@ std::vector<uint32_t> RefineRows(const StringColumn& column,
 
 /// Number of rows whose value ID lies in `range` (no materialization).
 uint64_t CountRows(const StringColumn& column, const IdRange& range);
+
+// Morsel cores: the per-range loops behind the entry points above, shared
+// with the morsel-parallel drivers (engine/parallel.h). Each appends (or
+// counts) the qualifying rows of [row_begin, row_end) only, touching no
+// state outside `out` — which is what lets morsels run concurrently and
+// still concatenate into exactly the serial result (docs/parallelism.md).
+
+/// Appends rows of [row_begin, row_end) whose value ID lies in `range`.
+void SelectRowsInto(const StringColumn& column, const IdRange& range,
+                    uint64_t row_begin, uint64_t row_end,
+                    std::vector<uint32_t>* out);
+
+/// Appends rows of [row_begin, row_end) whose value ID is flagged.
+void SelectRowsInto(const StringColumn& column,
+                    const std::vector<bool>& id_flags, uint64_t row_begin,
+                    uint64_t row_end, std::vector<uint32_t>* out);
+
+/// Appends the subset of `rows` (one morsel of an existing selection)
+/// whose value ID lies in `range`.
+void RefineRowsInto(const StringColumn& column,
+                    std::span<const uint32_t> rows, const IdRange& range,
+                    std::vector<uint32_t>* out);
+
+/// Number of rows in [row_begin, row_end) whose value ID lies in `range`.
+uint64_t CountRowsIn(const StringColumn& column, const IdRange& range,
+                     uint64_t row_begin, uint64_t row_end);
 
 }  // namespace adict
 

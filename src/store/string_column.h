@@ -22,6 +22,7 @@
 #include "obs/trace.h"
 #include "store/column_vector.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace adict {
 
@@ -185,6 +186,80 @@ class StringColumn {
   // reads — fine for a usage trace, which only feeds the format decision.
   mutable std::atomic<uint64_t> num_extracts_{0};
   mutable std::atomic<uint64_t> num_locates_{0};
+};
+
+/// Versioned holder of one read-optimized column: the snapshot-read side of
+/// the delta-merge protocol (docs/parallelism.md).
+///
+/// Readers call Snapshot() — a brief lock to copy the shared_ptr — and then
+/// scan their version without any further synchronization; a concurrent
+/// merge builds the next version entirely off-lock (MergeDelta /
+/// MergeDeltaAdaptive are pure functions of the old column) and Publish()es
+/// it with a pointer swap. Readers therefore never block a merge and a
+/// merge never blocks readers; a superseded version stays alive exactly
+/// until its last snapshot holder drops it (shared_ptr refcount).
+///
+/// current() is the compatibility accessor for single-writer phases (load,
+/// reconfiguration between workloads): it returns a reference into the
+/// current version, valid only until the next Publish(). Phases that hold a
+/// current() reference across a possible Publish must snapshot instead.
+class VersionedStringColumn {
+ public:
+  explicit VersionedStringColumn(StringColumn column)
+      : current_(std::make_shared<StringColumn>(std::move(column))) {}
+
+  VersionedStringColumn(const VersionedStringColumn&) = delete;
+  VersionedStringColumn& operator=(const VersionedStringColumn&) = delete;
+
+  /// The current version, pinned: holds the version alive across any number
+  /// of later Publish() calls.
+  std::shared_ptr<const StringColumn> Snapshot() const
+      ADICT_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
+    return current_;
+  }
+
+  /// Atomically replaces the current version and bumps the epoch. The new
+  /// column is fully built by the caller before the swap, so the lock is
+  /// held only for the pointer exchange.
+  void Publish(StringColumn next) ADICT_EXCLUDES(mutex_) {
+    auto version = std::make_shared<StringColumn>(std::move(next));
+    {
+      MutexLock lock(&mutex_);
+      current_ = std::move(version);
+    }
+    const uint64_t epoch =
+        epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (obs::Enabled()) {
+      static obs::Counter* publishes = obs::Metrics().GetCounter(
+          "store.snapshot.publish", "versions",
+          "column versions published by delta merges / format changes");
+      static obs::Gauge* epoch_gauge = obs::Metrics().GetGauge(
+          "store.snapshot.epoch", "epoch",
+          "version epoch of the most recently published column");
+      publishes->Increment();
+      epoch_gauge->Set(static_cast<double>(epoch));
+    }
+  }
+
+  /// Versions published since construction (0 = the initial version).
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  /// Single-writer-phase reference to the current version (see class
+  /// comment for the validity contract).
+  const StringColumn& current() const ADICT_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
+    return *current_;
+  }
+  StringColumn& current() ADICT_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
+    return *current_;
+  }
+
+ private:
+  mutable Mutex mutex_;
+  std::shared_ptr<StringColumn> current_ ADICT_GUARDED_BY(mutex_);
+  std::atomic<uint64_t> epoch_{0};
 };
 
 }  // namespace adict

@@ -5,8 +5,10 @@
 #define ADICT_STORE_TABLE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "store/string_column.h"
@@ -27,7 +29,8 @@ class Table {
   void AddStringColumn(const std::string& name, StringColumn column) {
     CheckRows(column.num_rows());
     string_index_[name] = string_columns_.size();
-    string_columns_.push_back(std::move(column));
+    string_columns_.push_back(
+        std::make_unique<VersionedStringColumn>(std::move(column)));
     column_names_.push_back(name);
   }
   void AddInt64Column(const std::string& name, std::vector<int64_t> values) {
@@ -49,11 +52,30 @@ class Table {
     column_names_.push_back(name);
   }
 
+  // Single-writer-phase references into the current version of a column
+  // (load, reconfiguration, and the single-threaded query paths). Valid
+  // until the column's next Publish; concurrent readers racing a merge must
+  // use SnapshotStrings() instead.
   const StringColumn& strings(const std::string& name) const {
-    return string_columns_[IndexOf(string_index_, name)];
+    return string_columns_[IndexOf(string_index_, name)]->current();
   }
   StringColumn& strings(const std::string& name) {
-    return string_columns_[IndexOf(string_index_, name)];
+    return string_columns_[IndexOf(string_index_, name)]->current();
+  }
+
+  /// Pinned snapshot of a string column: the reader-side of the snapshot
+  /// protocol. The returned version stays valid (and bit-identical) across
+  /// any concurrent PublishStrings / merge.
+  std::shared_ptr<const StringColumn> SnapshotStrings(
+      const std::string& name) const {
+    return string_columns_[IndexOf(string_index_, name)]->Snapshot();
+  }
+
+  /// Publishes the next version of a string column (the writer-side commit
+  /// of a delta merge or format change). Readers holding snapshots keep
+  /// their old version; new snapshots see `next`.
+  void PublishStrings(const std::string& name, StringColumn next) {
+    string_columns_[IndexOf(string_index_, name)]->Publish(std::move(next));
   }
   const std::vector<int64_t>& int64s(const std::string& name) const {
     return int64_columns_[IndexOf(int64_index_, name)];
@@ -69,12 +91,17 @@ class Table {
     return string_index_.contains(name);
   }
 
-  /// All string columns (e.g. for the compression manager to reconfigure).
-  std::vector<StringColumn>& string_columns() { return string_columns_; }
-  const std::vector<StringColumn>& string_columns() const {
-    return string_columns_;
+  /// Number of string columns; iterate with string_column(i) (e.g. for the
+  /// compression manager to reconfigure).
+  size_t num_string_columns() const { return string_columns_.size(); }
+  /// Versioned string column `i`, in AddStringColumn order.
+  VersionedStringColumn& string_column(size_t i) {
+    return *string_columns_[i];
   }
-  /// Name of string column `i`, parallel to string_columns().
+  const VersionedStringColumn& string_column(size_t i) const {
+    return *string_columns_[i];
+  }
+  /// Name of string column `i`, parallel to string_column(i).
   const std::string& string_column_name(size_t i) const {
     for (const auto& [name, index] : string_index_) {
       if (index == i) return name;
@@ -88,7 +115,9 @@ class Table {
 
   size_t MemoryBytes() const {
     size_t bytes = 0;
-    for (const StringColumn& col : string_columns_) bytes += col.MemoryBytes();
+    for (const auto& col : string_columns_) {
+      bytes += col->current().MemoryBytes();
+    }
     for (const auto& col : int64_columns_) bytes += col.size() * sizeof(int64_t);
     for (const auto& col : double_columns_) bytes += col.size() * sizeof(double);
     for (const auto& col : date_columns_) bytes += col.size() * sizeof(int32_t);
@@ -114,7 +143,9 @@ class Table {
   std::string name_;
   uint64_t num_rows_ = 0;
   std::vector<std::string> column_names_;
-  std::vector<StringColumn> string_columns_;
+  // unique_ptr: a VersionedStringColumn owns a Mutex and cannot move, but
+  // the Table must stay movable.
+  std::vector<std::unique_ptr<VersionedStringColumn>> string_columns_;
   std::vector<std::vector<int64_t>> int64_columns_;
   std::vector<std::vector<double>> double_columns_;
   std::vector<std::vector<int32_t>> date_columns_;

@@ -154,8 +154,8 @@ size_t TpchDatabase::MemoryBytes() const {
 size_t TpchDatabase::StringColumnBytes() const {
   size_t bytes = 0;
   for (const Table* table : tables()) {
-    for (const StringColumn& column : table->string_columns()) {
-      bytes += column.MemoryBytes();
+    for (size_t i = 0; i < table->num_string_columns(); ++i) {
+      bytes += table->string_column(i).current().MemoryBytes();
     }
   }
   return bytes;
@@ -163,16 +163,16 @@ size_t TpchDatabase::StringColumnBytes() const {
 
 void TpchDatabase::ApplyFormat(DictFormat format) {
   for (Table* table : tables()) {
-    for (StringColumn& column : table->string_columns()) {
-      column.ChangeFormat(format);
+    for (size_t i = 0; i < table->num_string_columns(); ++i) {
+      table->string_column(i).current().ChangeFormat(format);
     }
   }
 }
 
 void TpchDatabase::ResetUsage() {
   for (Table* table : tables()) {
-    for (StringColumn& column : table->string_columns()) {
-      column.ResetUsage();
+    for (size_t i = 0; i < table->num_string_columns(); ++i) {
+      table->string_column(i).current().ResetUsage();
     }
   }
 }

@@ -1,13 +1,21 @@
 // TPC-H queries 1-11 (standard substitution parameters).
+//
+// Q1 and Q6 (the scan-heavy queries the paper's workload leans on) run
+// morsel-parallel on the process-wide pool. Both use the same decomposition
+// at every parallelism — per-morsel partial aggregates combined in morsel
+// order — so their results are bit-identical whether ADICT_THREADS is 1 or
+// 64 (morsel boundaries depend only on the row count and the grain).
 #include <algorithm>
 #include <cmath>
 #include <map>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "engine/parallel.h"
 #include "tpch/queries.h"
 #include "tpch/query_helpers.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace adict {
 namespace tpch_internal {
@@ -30,16 +38,37 @@ QueryResult Q1(const TpchDatabase& db) {
     double sum_disc = 0;
     uint64_t count = 0;
   };
+  // Per-morsel partial aggregates, combined in morsel order below: the same
+  // decomposition at every thread count, so the sums (and their rounding)
+  // never depend on ADICT_THREADS.
+  std::vector<std::map<uint64_t, Agg>> partials(
+      ThreadPool::NumChunks(l.num_rows(), kMorselRows));
+  Pool().ParallelFor(
+      0, l.num_rows(), kMorselRows, [&](uint64_t begin, uint64_t end) {
+        std::map<uint64_t, Agg>& local = partials[begin / kMorselRows];
+        for (uint64_t row = begin; row < end; ++row) {
+          if (shipdate[row] > cutoff) continue;
+          Agg& g =
+              local[GroupKey(flag.GetValueId(row), status.GetValueId(row))];
+          g.sum_qty += qty[row];
+          g.sum_base += price[row];
+          g.sum_disc_price += price[row] * (1 - disc[row]);
+          g.sum_charge += price[row] * (1 - disc[row]) * (1 + tax[row]);
+          g.sum_disc += disc[row];
+          ++g.count;
+        }
+      });
   std::map<uint64_t, Agg> groups;  // ordered by (flag id, status id)
-  for (uint64_t row = 0; row < l.num_rows(); ++row) {
-    if (shipdate[row] > cutoff) continue;
-    Agg& g = groups[GroupKey(flag.GetValueId(row), status.GetValueId(row))];
-    g.sum_qty += qty[row];
-    g.sum_base += price[row];
-    g.sum_disc_price += price[row] * (1 - disc[row]);
-    g.sum_charge += price[row] * (1 - disc[row]) * (1 + tax[row]);
-    g.sum_disc += disc[row];
-    ++g.count;
+  for (const auto& partial : partials) {
+    for (const auto& [key, p] : partial) {
+      Agg& g = groups[key];
+      g.sum_qty += p.sum_qty;
+      g.sum_base += p.sum_base;
+      g.sum_disc_price += p.sum_disc_price;
+      g.sum_charge += p.sum_charge;
+      g.sum_disc += p.sum_disc;
+      g.count += p.count;
+    }
   }
 
   QueryResult result;
@@ -315,13 +344,24 @@ QueryResult Q6(const TpchDatabase& db) {
   const int32_t lo = ParseDate("1994-01-01");
   const int32_t hi = AddMonths(lo, 12);
 
+  // Per-morsel partial sums combined in morsel order: bit-identical revenue
+  // at every ADICT_THREADS (see the file comment).
+  std::vector<double> partials(
+      ThreadPool::NumChunks(l.num_rows(), kMorselRows), 0.0);
+  Pool().ParallelFor(
+      0, l.num_rows(), kMorselRows, [&](uint64_t begin, uint64_t end) {
+        double local = 0;
+        for (uint64_t row = begin; row < end; ++row) {
+          if (shipdate[row] >= lo && shipdate[row] < hi &&
+              disc[row] >= 0.05 - 1e-9 && disc[row] <= 0.07 + 1e-9 &&
+              qty[row] < 24) {
+            local += price[row] * disc[row];
+          }
+        }
+        partials[begin / kMorselRows] = local;
+      });
   double revenue = 0;
-  for (uint64_t row = 0; row < l.num_rows(); ++row) {
-    if (shipdate[row] >= lo && shipdate[row] < hi && disc[row] >= 0.05 - 1e-9 &&
-        disc[row] <= 0.07 + 1e-9 && qty[row] < 24) {
-      revenue += price[row] * disc[row];
-    }
-  }
+  for (double partial : partials) revenue += partial;
   QueryResult result;
   result.column_names = {"revenue"};
   result.AddRow({Cell(revenue)});

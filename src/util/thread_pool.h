@@ -1,0 +1,131 @@
+// Work-stealing thread pool: the execution substrate of the morsel-parallel
+// query engine (docs/parallelism.md).
+//
+// Design constraints, in order:
+//   1. Morsel-driven parallelism (Hyrise/HyPer style): callers split work
+//      into fixed-size morsels and drain a shared cursor, so load balances
+//      itself — a worker that finishes a cheap morsel immediately takes the
+//      next one, and no static partitioning can strand a slow thread.
+//   2. The caller participates. ParallelFor never blocks the submitting
+//      thread on a condition variable while there is work left: it drains
+//      morsels alongside the workers, which makes the pool deadlock-free
+//      under nested use (a participant can always finish the loop alone)
+//      and means a pool of parallelism 1 degenerates to a plain serial loop
+//      with zero synchronization.
+//   3. Submitted tasks land in per-worker deques; an idle worker first pops
+//      its own deque LIFO (cache-warm), then steals FIFO from a victim —
+//      the classic work-stealing discipline. Steals are counted
+//      (`pool.steals`) so imbalance is observable.
+//   4. Everything is annotated for Clang Thread Safety Analysis; the pool's
+//      mutexes follow the discipline documented in docs/static_analysis.md.
+//
+// The process-wide pool (`Pool()`) is sized by the ADICT_THREADS environment
+// variable: unset or 0 means hardware concurrency, 1 means fully serial
+// (no worker threads are spawned, every ParallelFor runs inline), N > 1
+// means N-way parallelism (N - 1 workers plus the calling thread).
+// docs/parallelism.md specifies the knob's semantics and lifecycle.
+#ifndef ADICT_UTIL_THREAD_POOL_H_
+#define ADICT_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/thread_annotations.h"
+
+namespace adict {
+
+class ThreadPool {
+ public:
+  /// Spawns `parallelism - 1` worker threads; the calling thread is the
+  /// remaining lane (it participates in every ParallelFor). A parallelism
+  /// of 0 or 1 spawns nothing and runs everything inline.
+  explicit ThreadPool(size_t parallelism);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Worker threads plus the participating caller.
+  size_t parallelism() const { return workers_.size() + 1; }
+
+  /// Enqueues one task. With no workers the task runs inline, so Submit
+  /// never requires a running pool to make progress.
+  void Submit(std::function<void()> task);
+
+  /// Runs `fn(chunk_begin, chunk_end)` over [begin, end) split into chunks
+  /// of at most `grain` items, in parallel, and returns when every chunk
+  /// has finished. Chunk boundaries depend only on (begin, end, grain) —
+  /// never on the number of threads — so a caller that combines per-chunk
+  /// results in chunk order gets bit-identical output at any parallelism
+  /// (the determinism contract of docs/parallelism.md). `fn` must not
+  /// throw and must not recursively call ParallelFor on the same pool's
+  /// lanes it is running on (leaf work only).
+  void ParallelFor(uint64_t begin, uint64_t end, uint64_t grain,
+                   const std::function<void(uint64_t, uint64_t)>& fn);
+
+  /// Tasks stolen from another worker's deque since construction.
+  uint64_t steals() const { return steals_.load(std::memory_order_relaxed); }
+
+  /// Tasks submitted but not yet popped by any worker (queue depth).
+  uint64_t queued() const { return queued_.load(std::memory_order_relaxed); }
+
+  /// Number of chunks ParallelFor will produce for `items` at `grain`.
+  static uint64_t NumChunks(uint64_t items, uint64_t grain) {
+    return grain == 0 ? 0 : (items + grain - 1) / grain;
+  }
+
+ private:
+  /// One worker's deque. The owner pops the back (LIFO), thieves take the
+  /// front (FIFO), both under the worker's own mutex — contention is per
+  /// worker, not global.
+  struct Worker {
+    Mutex mutex;
+    std::deque<std::function<void()>> tasks ADICT_GUARDED_BY(mutex);
+  };
+
+  void WorkerLoop(size_t index);
+  /// Pops a task for worker `index`: own deque first, then steals.
+  /// Returns false when nothing is runnable anywhere.
+  bool PopTask(size_t index, std::function<void()>* task, bool* stolen)
+      ADICT_EXCLUDES(wake_mutex_);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  // Sleep/wake plumbing. The condition variable guards no pool data — the
+  // deques have their own mutexes — it only parks idle workers; the
+  // predicate reads the atomics below.
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> queued_{0};     // submitted, not yet popped
+  std::atomic<uint64_t> next_queue_{0}; // round-robin submit cursor
+  std::atomic<uint64_t> steals_{0};
+};
+
+/// The process-wide pool, created on first use with DefaultPoolParallelism().
+/// Never destroyed. See docs/parallelism.md for the lifecycle.
+ThreadPool& Pool();
+
+/// Parallelism of the process-wide pool (workers + caller); 1 means serial.
+size_t PoolParallelism();
+
+/// Replaces the process-wide pool with one of the given parallelism.
+/// Only safe while no thread is inside the old pool (benchmark sweeps and
+/// tests call it between quiescent phases); concurrent queries must never
+/// race a resize.
+void SetPoolParallelism(size_t parallelism);
+
+/// ADICT_THREADS semantics: unset/empty/"0" -> hardware concurrency,
+/// otherwise the parsed value clamped to [1, 256].
+size_t DefaultPoolParallelism();
+
+}  // namespace adict
+
+#endif  // ADICT_UTIL_THREAD_POOL_H_

@@ -115,8 +115,9 @@ TEST(TpchGen, ApplyFormatRebuildsEveryDictionary) {
   const size_t before = db.StringColumnBytes();
   db.ApplyFormat(DictFormat::kFcBlockRp12);
   for (Table* table : db.tables()) {
-    for (const StringColumn& column : table->string_columns()) {
-      EXPECT_EQ(column.format(), DictFormat::kFcBlockRp12);
+    for (size_t i = 0; i < table->num_string_columns(); ++i) {
+      EXPECT_EQ(table->string_column(i).current().format(),
+                DictFormat::kFcBlockRp12);
     }
   }
   EXPECT_LT(db.StringColumnBytes(), before);  // rp compresses the defaults
@@ -208,8 +209,9 @@ TEST(TpchQueries, WorkloadTracesDictionaryUsage) {
 
   uint64_t extracts = 0, locates = 0;
   for (Table* table : db.tables()) {
-    for (const StringColumn& column : table->string_columns()) {
-      const ColumnUsage usage = column.TracedUsage(1.0);
+    for (size_t i = 0; i < table->num_string_columns(); ++i) {
+      const ColumnUsage usage =
+          table->string_column(i).current().TracedUsage(1.0);
       extracts += usage.num_extracts;
       locates += usage.num_locates;
     }
