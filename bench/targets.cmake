@@ -19,6 +19,7 @@ set(ADICT_BENCH_SOURCES
   bench/calibrate_cost_model.cc
   bench/survey_locate_construct.cc
   bench/dict_ops_benchmark.cc
+  bench/memory_pressure_curve.cc
   bench/perf_regression.cc
   bench/throughput_over_clients.cc
 )

@@ -1,6 +1,7 @@
 #include "core/controller.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "obs/obs.h"
 #include "util/check.h"
@@ -15,7 +16,20 @@ TradeoffController::TradeoffController(const Options& options)
 }
 
 double TradeoffController::Observe(double free_bytes, double total_bytes) {
-  ADICT_CHECK(total_bytes > 0);
+  // Reject malformed measurements instead of aborting or folding them into
+  // the EMA: a provider read can produce garbage transiently and the
+  // feedback loop must ride through it on its last good state.
+  if (!std::isfinite(free_bytes) || !std::isfinite(total_bytes) ||
+      total_bytes <= 0 || free_bytes < 0 || free_bytes > total_bytes) {
+    if (obs::Enabled()) {
+      static obs::Counter* rejected = obs::Metrics().GetCounter(
+          "controller.observe.rejected", "calls",
+          "malformed memory measurements rejected without touching c");
+      rejected->Increment();
+    }
+    MutexLock lock(&mutex_);
+    return c_;
+  }
   const double measured = std::clamp(free_bytes / total_bytes, 0.0, 1.0);
   double new_c;
   double new_smoothed;

@@ -39,7 +39,11 @@ class TradeoffController {
   explicit TradeoffController(const Options& options);
 
   /// Feeds one measurement of (free, total) memory in bytes and returns the
-  /// updated trade-off parameter c.
+  /// updated trade-off parameter c. A malformed measurement — NaN in either
+  /// value, a non-positive total, or free exceeding total — is rejected
+  /// without touching c or the EMA (counted by `controller.observe.rejected`):
+  /// real providers can emit garbage transiently (a cgroup file mid-teardown)
+  /// and one bad read must not pollute the feedback loop.
   double Observe(double free_bytes, double total_bytes)
       ADICT_EXCLUDES(mutex_);
 

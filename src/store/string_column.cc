@@ -49,6 +49,15 @@ StringColumn StringColumn::FromParts(std::unique_ptr<Dictionary> dict,
   return column;
 }
 
+StringColumn StringColumn::FromParts(std::unique_ptr<Dictionary> dict,
+                                     ColumnVector vector) {
+  ADICT_CHECK(dict != nullptr);
+  StringColumn column;
+  column.vector_ = std::move(vector);
+  column.dict_ = std::move(dict);
+  return column;
+}
+
 std::vector<std::string> StringColumn::MaterializeDictionary() const {
   ADICT_TRACE_SPAN("column.materialize_dictionary");
   std::vector<std::string> values;

@@ -75,6 +75,15 @@ class StringColumn {
   static StringColumn FromParts(std::unique_ptr<Dictionary> dict,
                                 std::span<const uint32_t> ids);
 
+  /// Same, reusing an already-packed column vector. Because every format is
+  /// order-preserving, a dictionary-only rebuild (format change under
+  /// memory pressure) keeps the value IDs bit-identical — the rebuilder
+  /// copies the packed words instead of decoding and re-packing the rows.
+  /// `vector` must have been packed against a dictionary with the same
+  /// entries as `dict`.
+  static StringColumn FromParts(std::unique_ptr<Dictionary> dict,
+                                ColumnVector vector);
+
   /// Value of `row` (counted as one extract).
   std::string GetValue(uint64_t row) const {
     CountExtracts(1);
@@ -221,15 +230,17 @@ class VersionedStringColumn {
 
   /// Atomically replaces the current version and bumps the epoch. The new
   /// column is fully built by the caller before the swap, so the lock is
-  /// held only for the pointer exchange.
+  /// held only for the pointer exchange. The epoch is advanced while the
+  /// lock is still held so PublishIfEpoch can compare epoch and version
+  /// consistently.
   void Publish(StringColumn next) ADICT_EXCLUDES(mutex_) {
     auto version = std::make_shared<StringColumn>(std::move(next));
+    uint64_t epoch;
     {
       MutexLock lock(&mutex_);
       current_ = std::move(version);
+      epoch = epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
     }
-    const uint64_t epoch =
-        epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
     if (obs::Enabled()) {
       static obs::Counter* publishes = obs::Metrics().GetCounter(
           "store.snapshot.publish", "versions",
@@ -240,6 +251,38 @@ class VersionedStringColumn {
       publishes->Increment();
       epoch_gauge->Set(static_cast<double>(epoch));
     }
+  }
+
+  /// Conditional publish: commits `next` only if the column's epoch still
+  /// equals `expected_epoch` (i.e. no other writer published since the
+  /// caller snapshotted). Returns false — and discards `next` — when the
+  /// version moved on. This is the optimistic-concurrency primitive for
+  /// writers whose input is derived from a snapshot (the recompression
+  /// scheduler): a delta merge that races a pressure rebuild must never be
+  /// overwritten by a column built from the pre-merge snapshot.
+  bool PublishIfEpoch(StringColumn next, uint64_t expected_epoch)
+      ADICT_EXCLUDES(mutex_) {
+    auto version = std::make_shared<StringColumn>(std::move(next));
+    uint64_t epoch;
+    {
+      MutexLock lock(&mutex_);
+      if (epoch_.load(std::memory_order_acquire) != expected_epoch) {
+        return false;
+      }
+      current_ = std::move(version);
+      epoch = epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    }
+    if (obs::Enabled()) {
+      static obs::Counter* publishes = obs::Metrics().GetCounter(
+          "store.snapshot.publish_if_epoch", "versions",
+          "column versions committed by epoch-guarded conditional publishes");
+      static obs::Gauge* epoch_gauge = obs::Metrics().GetGauge(
+          "store.snapshot.epoch", "epoch",
+          "version epoch of the most recently published column");
+      publishes->Increment();
+      epoch_gauge->Set(static_cast<double>(epoch));
+    }
+    return true;
   }
 
   /// Versions published since construction (0 = the initial version).

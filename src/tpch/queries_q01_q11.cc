@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -24,8 +25,16 @@ namespace tpch_internal {
 // Filter: l_shipdate <= '1998-12-01' - 90 days. Group: returnflag, linestatus.
 QueryResult Q1(const TpchDatabase& db) {
   const Table& l = db.lineitem;
-  const StringColumn& flag = l.strings("L_RETURNFLAG");
-  const StringColumn& status = l.strings("L_LINESTATUS");
+  // Pinned snapshots, not current() references: Q1 may race a concurrent
+  // pressure-triggered format rebuild (core/recompression_scheduler.h), and
+  // a reference into the current version dangles at the next publish. The
+  // snapshot keeps the whole query on one bit-identical version.
+  const std::shared_ptr<const StringColumn> flag_snapshot =
+      l.SnapshotStrings("L_RETURNFLAG");
+  const std::shared_ptr<const StringColumn> status_snapshot =
+      l.SnapshotStrings("L_LINESTATUS");
+  const StringColumn& flag = *flag_snapshot;
+  const StringColumn& status = *status_snapshot;
   const auto& shipdate = l.dates("L_SHIPDATE");
   const auto& qty = l.doubles("L_QUANTITY");
   const auto& price = l.doubles("L_EXTENDEDPRICE");

@@ -1,0 +1,281 @@
+#include "util/memory_pressure.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "util/failpoint.h"
+
+namespace adict {
+namespace {
+
+StatusOr<std::string> ReadSmallFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  std::string content;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    content.append(buf, n);
+  }
+  std::fclose(f);
+  return content;
+}
+
+std::string_view TrimAscii(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+StatusOr<uint64_t> ParseUint(std::string_view s) {
+  s = TrimAscii(s);
+  if (s.empty()) return Status::Corruption("empty number");
+  uint64_t value = 0;
+  for (char ch : s) {
+    if (ch < '0' || ch > '9') {
+      return Status::Corruption("non-numeric byte in number: " +
+                                std::string(s));
+    }
+    const uint64_t digit = static_cast<uint64_t>(ch - '0');
+    if (value > (UINT64_MAX - digit) / 10) {
+      return Status::Corruption("number overflows uint64: " + std::string(s));
+    }
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+}  // namespace
+
+StatusOr<uint64_t> ParseCgroupBytes(std::string_view content) {
+  const std::string_view trimmed = TrimAscii(content);
+  if (trimmed == "max") {
+    return Status::FailedPrecondition("cgroup memory.max is \"max\" (no "
+                                      "limit configured)");
+  }
+  return ParseUint(trimmed);
+}
+
+StatusOr<std::string> ParseCgroupSelfPath(std::string_view proc_self_cgroup) {
+  // cgroup v2 is the single unified line "0::<path>". Hybrid hierarchies
+  // list v1 controllers first; only the v2 line starts with "0::".
+  size_t pos = 0;
+  while (pos < proc_self_cgroup.size()) {
+    size_t end = proc_self_cgroup.find('\n', pos);
+    if (end == std::string_view::npos) end = proc_self_cgroup.size();
+    const std::string_view line = proc_self_cgroup.substr(pos, end - pos);
+    if (line.rfind("0::", 0) == 0) {
+      return std::string(TrimAscii(line.substr(3)));
+    }
+    pos = end + 1;
+  }
+  return Status::FailedPrecondition("no cgroup v2 entry in /proc/self/cgroup");
+}
+
+StatusOr<uint64_t> ParseStatmRssBytes(std::string_view statm,
+                                      uint64_t page_bytes) {
+  // /proc/self/statm: "size resident shared text lib data dt" in pages.
+  const std::string_view trimmed = TrimAscii(statm);
+  const size_t first_space = trimmed.find(' ');
+  if (first_space == std::string_view::npos) {
+    return Status::Corruption("statm has no resident field");
+  }
+  std::string_view rest = trimmed.substr(first_space + 1);
+  const size_t second_space = rest.find(' ');
+  if (second_space != std::string_view::npos) rest = rest.substr(0, second_space);
+  StatusOr<uint64_t> pages = ParseUint(rest);
+  if (!pages.ok()) return pages.status();
+  return *pages * page_bytes;
+}
+
+StatusOr<uint64_t> ParseMemInfoTotalBytes(std::string_view meminfo) {
+  // /proc/meminfo: "MemTotal:       16319840 kB".
+  size_t pos = 0;
+  while (pos < meminfo.size()) {
+    size_t end = meminfo.find('\n', pos);
+    if (end == std::string_view::npos) end = meminfo.size();
+    const std::string_view line = meminfo.substr(pos, end - pos);
+    if (line.rfind("MemTotal:", 0) == 0) {
+      std::string_view value = TrimAscii(line.substr(9));
+      const size_t unit = value.find(' ');
+      if (unit == std::string_view::npos) {
+        return Status::Corruption("MemTotal line has no unit");
+      }
+      StatusOr<uint64_t> kb = ParseUint(value.substr(0, unit));
+      if (!kb.ok()) return kb.status();
+      return *kb * 1024;
+    }
+    pos = end + 1;
+  }
+  return Status::Corruption("no MemTotal line in /proc/meminfo");
+}
+
+namespace {
+
+class CgroupV2Provider : public MemoryProvider {
+ public:
+  explicit CgroupV2Provider(std::string root)
+      : root_(root.empty() ? "/sys/fs/cgroup" : std::move(root)) {}
+
+  std::string_view name() const override { return "cgroup_v2"; }
+
+  StatusOr<MemorySample> Sample() override {
+    if (dir_.empty()) {
+      StatusOr<std::string> self = ReadSmallFile("/proc/self/cgroup");
+      if (!self.ok()) return self.status();
+      StatusOr<std::string> path = ParseCgroupSelfPath(*self);
+      if (!path.ok()) return path.status();
+      dir_ = root_ + *path;
+    }
+    StatusOr<std::string> current = ReadSmallFile(dir_ + "/memory.current");
+    if (!current.ok()) return current.status();
+    StatusOr<uint64_t> used = ParseUint(TrimAscii(*current));
+    if (!used.ok()) return used.status();
+    // The nearest configured limit may sit on an ancestor; memory.max of
+    // the leaf is the common case and good enough for a pressure signal.
+    StatusOr<std::string> max = ReadSmallFile(dir_ + "/memory.max");
+    if (!max.ok()) return max.status();
+    StatusOr<uint64_t> total = ParseCgroupBytes(*max);
+    if (!total.ok()) return total.status();
+    if (*total == 0) return Status::Corruption("cgroup memory.max is 0");
+    return MemorySample{*used, *total};
+  }
+
+ private:
+  std::string root_;
+  std::string dir_;  // resolved lazily on first Sample()
+};
+
+class ProcRssProvider : public MemoryProvider {
+ public:
+  explicit ProcRssProvider(uint64_t total_override_bytes)
+      : total_override_bytes_(total_override_bytes),
+        page_bytes_(static_cast<uint64_t>(sysconf(_SC_PAGESIZE))) {}
+
+  std::string_view name() const override { return "proc_rss"; }
+
+  StatusOr<MemorySample> Sample() override {
+    StatusOr<std::string> statm = ReadSmallFile("/proc/self/statm");
+    if (!statm.ok()) return statm.status();
+    StatusOr<uint64_t> used = ParseStatmRssBytes(*statm, page_bytes_);
+    if (!used.ok()) return used.status();
+    uint64_t total = total_override_bytes_;
+    if (total == 0) {
+      StatusOr<std::string> meminfo = ReadSmallFile("/proc/meminfo");
+      if (!meminfo.ok()) return meminfo.status();
+      StatusOr<uint64_t> machine = ParseMemInfoTotalBytes(*meminfo);
+      if (!machine.ok()) return machine.status();
+      total = *machine;
+    }
+    if (total == 0) return Status::Corruption("total memory is 0");
+    return MemorySample{*used, total};
+  }
+
+ private:
+  uint64_t total_override_bytes_;
+  uint64_t page_bytes_;
+};
+
+}  // namespace
+
+std::unique_ptr<MemoryProvider> MakeCgroupV2Provider(
+    std::string root_override) {
+  return std::make_unique<CgroupV2Provider>(std::move(root_override));
+}
+
+std::unique_ptr<MemoryProvider> MakeProcRssProvider(
+    uint64_t total_override_bytes) {
+  return std::make_unique<ProcRssProvider>(total_override_bytes);
+}
+
+std::unique_ptr<MemoryProvider> DetectMemoryProvider() {
+  auto cgroup = MakeCgroupV2Provider();
+  if (cgroup->Sample().ok()) return cgroup;
+  return MakeProcRssProvider();
+}
+
+StatusOr<MemorySample> SimulatedProvider::Sample() {
+  const uint64_t total = total_bytes_.load(std::memory_order_relaxed);
+  if (total == 0) return Status::Corruption("simulated total is 0");
+  return MemorySample{used_bytes_.load(std::memory_order_relaxed), total};
+}
+
+uint64_t DefaultMemPollMillis() {
+  constexpr uint64_t kDefault = 250;
+  const char* env = std::getenv("ADICT_MEM_POLL_MS");
+  if (env == nullptr || *env == '\0') return kDefault;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(env, &end, 10);
+  if (end == env || parsed == 0) return kDefault;
+  return std::clamp<uint64_t>(parsed, 10, 60000);
+}
+
+MemorySampler::MemorySampler(std::unique_ptr<MemoryProvider> provider,
+                             Callback callback, Options options)
+    : provider_(std::move(provider)),
+      callback_(std::move(callback)),
+      period_millis_(options.period_millis == 0 ? DefaultMemPollMillis()
+                                                : options.period_millis) {}
+
+MemorySampler::~MemorySampler() { Stop(); }
+
+void MemorySampler::Start() {
+  if (running_.load(std::memory_order_acquire)) return;
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    stop_requested_ = false;
+  }
+  running_.store(true, std::memory_order_release);
+  // First measurement on the caller's thread: consumers (the scheduler, the
+  // controller) have a reading before Start() returns, not one period later.
+  Tick();
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void MemorySampler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    stop_requested_ = true;
+  }
+  wake_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  running_.store(false, std::memory_order_release);
+}
+
+void MemorySampler::SampleNow() { Tick(); }
+
+void MemorySampler::Loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(wake_mutex_);
+      if (wake_cv_.wait_for(lock, std::chrono::milliseconds(period_millis_),
+                            [this] { return stop_requested_; })) {
+        return;
+      }
+    }
+    Tick();
+  }
+}
+
+void MemorySampler::Tick() {
+  StatusOr<MemorySample> sample =
+      ADICT_FAIL_POINT("mem.sample.fail")
+          ? StatusOr<MemorySample>(
+                Status::IoError("injected mem.sample.fail failure"))
+          : provider_->Sample();
+  num_samples_.fetch_add(1, std::memory_order_relaxed);
+  if (!sample.ok()) num_errors_.fetch_add(1, std::memory_order_relaxed);
+  if (callback_) callback_(sample);
+}
+
+}  // namespace adict
