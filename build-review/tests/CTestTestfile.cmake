@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/concurrency_test[1]_include.cmake")
+include("/root/repo/build-review/tests/core_test[1]_include.cmake")
+include("/root/repo/build-review/tests/corruption_fuzz_test[1]_include.cmake")
+include("/root/repo/build-review/tests/dict_test[1]_include.cmake")
+include("/root/repo/build-review/tests/engine_test[1]_include.cmake")
+include("/root/repo/build-review/tests/failpoint_test[1]_include.cmake")
+include("/root/repo/build-review/tests/hash_index_test[1]_include.cmake")
+include("/root/repo/build-review/tests/integration_test[1]_include.cmake")
+include("/root/repo/build-review/tests/lint_test[1]_include.cmake")
+include("/root/repo/build-review/tests/memory_pressure_test[1]_include.cmake")
+include("/root/repo/build-review/tests/obs_test[1]_include.cmake")
+include("/root/repo/build-review/tests/parallel_engine_test[1]_include.cmake")
+include("/root/repo/build-review/tests/property_test[1]_include.cmake")
+include("/root/repo/build-review/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build-review/tests/scan_select_test[1]_include.cmake")
+include("/root/repo/build-review/tests/scan_test[1]_include.cmake")
+include("/root/repo/build-review/tests/serde_test[1]_include.cmake")
+include("/root/repo/build-review/tests/serialization_test[1]_include.cmake")
+include("/root/repo/build-review/tests/status_test[1]_include.cmake")
+include("/root/repo/build-review/tests/size_model_edge_test[1]_include.cmake")
+include("/root/repo/build-review/tests/store_test[1]_include.cmake")
+include("/root/repo/build-review/tests/text_codec_test[1]_include.cmake")
+include("/root/repo/build-review/tests/trace_test[1]_include.cmake")
+include("/root/repo/build-review/tests/tpch_query_validation_test[1]_include.cmake")
+include("/root/repo/build-review/tests/tpch_test[1]_include.cmake")
+include("/root/repo/build-review/tests/util_test[1]_include.cmake")
