@@ -9,6 +9,7 @@
 //   $ ./build/examples/adaptive_store
 //   $ ./build/examples/adaptive_store --trace /tmp/adict.trace.json
 //   $ ./build/examples/adaptive_store --mem-pressure
+//   $ ./build/examples/adaptive_store --metrics-port 9464 --serve 60
 //
 // With --trace, span tracing is enabled for the run and the file receives
 // Chrome trace_event JSON — open it in https://ui.perfetto.dev or
@@ -21,8 +22,17 @@
 // polling a simulated memory budget on a real background sampler thread,
 // rebuilding the store's columns into cheaper formats as the budget
 // shrinks — no merges needed, scans never blocked.
+//
+// With --metrics-port N (or ADICT_METRICS_PORT=N in the environment), an
+// HTTP exposition server runs on 127.0.0.1:N for the life of the process:
+// curl /metrics, /profile.json, /decisions.json while the demo runs
+// (docs/observability.md#http-endpoints). --serve SECONDS additionally
+// loops the 22 TPC-H queries over a small generated database for that many
+// seconds, so there is a live workload to scrape: per-column heat, latency
+// quantiles, and per-query attribution stay in motion the whole time.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -33,11 +43,15 @@
 #include "core/recompression_scheduler.h"
 #include "datasets/generators.h"
 #include "obs/export.h"
+#include "obs/http_exporter.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
+#include "obs/workload_profiler.h"
 #include "store/delta.h"
 #include "store/string_column.h"
 #include "store/table.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
 #include "util/memory_pressure.h"
 #include "util/rng.h"
 
@@ -171,22 +185,74 @@ int RunMemPressureDemo() {
   return 0;
 }
 
+// --serve SECONDS: loops the 22 TPC-H queries over a generated SF 0.01
+// database so the HTTP endpoints have a live workload to report on.
+int RunServeLoop(double seconds) {
+  TpchOptions options;
+  TpchDatabase db = GenerateTpch(options);
+  std::printf("serving TPC-H workload for %.0f s (%zu MB database)\n",
+              seconds, db.MemoryBytes() / (1024 * 1024));
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(static_cast<int64_t>(seconds * 1000));
+  uint64_t runs = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    for (int query = 1; query <= kNumTpchQueries; ++query) {
+      (void)RunTpchQuery(db, query);
+      ++runs;
+      if (std::chrono::steady_clock::now() >= deadline) break;
+    }
+  }
+  std::printf("ran %llu queries\n", static_cast<unsigned long long>(runs));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const char* trace_path = nullptr;
   bool mem_pressure = false;
+  int metrics_port = -1;
+  double serve_seconds = -1;
+  if (const char* env = std::getenv("ADICT_METRICS_PORT")) {
+    metrics_port = std::atoi(env);
+  }
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--mem-pressure") == 0) {
       mem_pressure = true;
+    } else if (std::strcmp(argv[i], "--metrics-port") == 0 && i + 1 < argc) {
+      metrics_port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--serve") == 0 && i + 1 < argc) {
+      serve_seconds = std::atof(argv[++i]);
     } else {
       std::fprintf(stderr,
-                   "usage: adaptive_store [--trace FILE] [--mem-pressure]\n");
+                   "usage: adaptive_store [--trace FILE] [--mem-pressure] "
+                   "[--metrics-port N] [--serve SECONDS]\n");
       return 2;
     }
   }
+
+  obs::RegisterProcessMetrics(kNumDictFormats);
+  obs::HttpExporter exporter([&] {
+    obs::HttpExporter::Options options;
+    options.port = metrics_port < 0 ? 0 : metrics_port;
+    return options;
+  }());
+  if (metrics_port >= 0) {
+    const Status started = exporter.Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "metrics server failed to start: %s\n",
+                   std::string(started.message()).c_str());
+      return 2;
+    }
+    std::printf("metrics: http://127.0.0.1:%d/metrics (also /profile.json, "
+                "/decisions.json, /spans.json, /healthz)\n",
+                exporter.port());
+  }
+
+  if (serve_seconds >= 0) return RunServeLoop(serve_seconds);
   if (mem_pressure) return RunMemPressureDemo();
   if (trace_path != nullptr) obs::SetTraceEnabled(true);
 

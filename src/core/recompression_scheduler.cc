@@ -9,6 +9,7 @@
 #include "obs/decision_log.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
+#include "obs/workload_profiler.h"
 #include "util/failpoint.h"
 #include "util/thread_pool.h"
 
@@ -229,10 +230,16 @@ RecompressionScheduler::TickPlan RecompressionScheduler::PlanTick(
 
   // Rank eligible columns by expected payoff: big dictionaries that have
   // not been rebuilt for a while and see little traffic reclaim the most
-  // bytes for the least interference.
+  // bytes for the least interference. Traffic is the workload profiler's
+  // *decayed* heat when the column has a slot — a column that was hot an
+  // hour ago but idle now ranks as cold and is evicted first; lifetime
+  // counters (the fallback for unbound columns) cannot tell the two apart.
   struct Ranked {
     size_t index;
     double score;
+    double heat;
+    uint64_t dict_bytes;
+    double staleness;
   };
   std::vector<Ranked> ranked;
   ranked.reserve(columns_.size());
@@ -252,17 +259,33 @@ RecompressionScheduler::TickPlan RecompressionScheduler::PlanTick(
     }
     const std::shared_ptr<const StringColumn> snapshot =
         table_->string_column(i).Snapshot();
-    const ColumnUsage usage = snapshot->TracedUsage(options_.lifetime_seconds);
+    double traffic_signal;
+    if (snapshot->heat() != nullptr) {
+      traffic_signal = snapshot->heat()->DecayedHeat();
+    } else {
+      const ColumnUsage usage =
+          snapshot->TracedUsage(options_.lifetime_seconds);
+      traffic_signal =
+          static_cast<double>(usage.num_extracts + usage.num_locates);
+    }
     const double staleness = static_cast<double>(since);
-    const double traffic =
-        1.0 + static_cast<double>(usage.num_extracts + usage.num_locates);
+    const double score = static_cast<double>(snapshot->DictionaryBytes()) *
+                         staleness / (1.0 + traffic_signal);
     ranked.push_back(
-        {i, static_cast<double>(snapshot->DictionaryBytes()) * staleness /
-                traffic});
+        {i, score, traffic_signal, snapshot->DictionaryBytes(), staleness});
   }
   std::sort(ranked.begin(), ranked.end(), [](const Ranked& a, const Ranked& b) {
     return a.score > b.score || (a.score == b.score && a.index < b.index);
   });
+  if (obs::Enabled() && !ranked.empty()) {
+    std::vector<obs::SchedulerRankEntry> entries;
+    entries.reserve(ranked.size());
+    for (const Ranked& r : ranked) {
+      entries.push_back({columns_[r.index].name, r.score, r.heat,
+                         r.dict_bytes, r.staleness});
+    }
+    obs::Profiler().RecordSchedulerRanking(std::move(entries));
+  }
   for (const Ranked& r : ranked) {
     if (plan.rebuild_columns.size() >= budget) break;
     columns_[r.index].in_flight = true;

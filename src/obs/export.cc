@@ -170,15 +170,21 @@ std::string ExportPrometheusText(const MetricsRegistry& registry) {
       AppendPrometheusHelp(&out, entry->help);
       out.push_back('\n');
     }
+    // Constant labels are fixed at registration (Entry::labels) and apply
+    // to scalar samples; histogram series already carry their `le` label.
+    std::string labeled = name;
+    if (!entry->labels.empty() && entry->type != MetricType::kHistogram) {
+      labeled += "{" + entry->labels + "}";
+    }
     switch (entry->type) {
       case MetricType::kCounter:
         Appendf(&out, "# TYPE %s counter\n", name.c_str());
-        Appendf(&out, "%s %" PRIu64 "\n", name.c_str(),
+        Appendf(&out, "%s %" PRIu64 "\n", labeled.c_str(),
                 entry->counter->value());
         break;
       case MetricType::kGauge:
         Appendf(&out, "# TYPE %s gauge\n", name.c_str());
-        Appendf(&out, "%s %.17g\n", name.c_str(), entry->gauge->value());
+        Appendf(&out, "%s %.17g\n", labeled.c_str(), entry->gauge->value());
         break;
       case MetricType::kHistogram: {
         const Histogram& h = *entry->histogram;

@@ -1,0 +1,370 @@
+#include "obs/http_exporter.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
+#include "obs/workload_profiler.h"
+#include "util/thread_pool.h"
+
+namespace adict {
+namespace obs {
+namespace {
+
+// The served routes. Paths listed here, the handler dispatch below, and the
+// "HTTP endpoints" table in docs/observability.md are kept in sync by
+// tools/adict_lint.py (check `endpoints`), which reads the path literals
+// between these markers.
+// adict-lint: http-routes-begin
+struct Route {
+  std::string_view path;
+  std::string_view method;
+};
+constexpr Route kRoutes[] = {
+    {"/metrics", "GET"},        {"/decisions.json", "GET"},
+    {"/spans.json", "GET"},     {"/profile.json", "GET"},
+    {"/healthz", "GET"},        {"/trace/start", "POST"},
+    {"/trace/stop", "POST"},
+};
+// adict-lint: http-routes-end
+
+/// /spans.json returns at most this many events (the newest), so a scrape
+/// of a long-running trace stays bounded.
+constexpr size_t kMaxSpanEvents = 4096;
+
+/// Request heads larger than this are rejected with 400.
+constexpr size_t kMaxRequestBytes = 8192;
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+  std::string allow;  // for 405
+};
+
+std::string_view ReasonPhrase(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 500:
+      return "Internal Server Error";
+    default:
+      return "Unknown";
+  }
+}
+
+std::string PercentDecode(std::string_view in) {
+  std::string out;
+  out.reserve(in.size());
+  for (size_t i = 0; i < in.size(); ++i) {
+    if (in[i] == '%' && i + 2 < in.size()) {
+      const auto hex = [](char ch) -> int {
+        if (ch >= '0' && ch <= '9') return ch - '0';
+        if (ch >= 'a' && ch <= 'f') return ch - 'a' + 10;
+        if (ch >= 'A' && ch <= 'F') return ch - 'A' + 10;
+        return -1;
+      };
+      const int hi = hex(in[i + 1]), lo = hex(in[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>(hi * 16 + lo));
+        i += 2;
+        continue;
+      }
+    }
+    out.push_back(in[i] == '+' ? ' ' : in[i]);
+  }
+  return out;
+}
+
+/// Value of `key` in a query string ("a=1&b=2"), percent-decoded; empty
+/// when absent.
+std::string QueryParam(std::string_view query, std::string_view key) {
+  while (!query.empty()) {
+    const size_t amp = query.find('&');
+    const std::string_view pair = query.substr(0, amp);
+    const size_t eq = pair.find('=');
+    if (eq != std::string_view::npos && pair.substr(0, eq) == key) {
+      return PercentDecode(pair.substr(eq + 1));
+    }
+    if (amp == std::string_view::npos) break;
+    query.remove_prefix(amp + 1);
+  }
+  return "";
+}
+
+std::string SpansJson() {
+  std::vector<TraceEvent> events = Trace().Snapshot();
+  if (events.size() > kMaxSpanEvents) {
+    events.erase(events.begin(),
+                 events.end() - static_cast<ptrdiff_t>(kMaxSpanEvents));
+  }
+  return TraceToChromeJson(events);
+}
+
+HttpResponse HandleRequest(std::string_view method, std::string_view path,
+                           std::string_view query) {
+  HttpResponse response;
+  const Route* route = nullptr;
+  for (const Route& candidate : kRoutes) {
+    if (candidate.path == path) {
+      route = &candidate;
+      break;
+    }
+  }
+  if (route == nullptr) {
+    response.status = 404;
+    response.body = "not found\n";
+    return response;
+  }
+  if (method != route->method) {
+    response.status = 405;
+    response.allow = std::string(route->method);
+    response.body = "method not allowed\n";
+    return response;
+  }
+
+  if (path == "/metrics") {
+    // Fold every column's decayed heat into its gauge so the scrape sees
+    // current values, not the last reader's.
+    Profiler().RefreshHeatGauges();
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = ExportPrometheusText(Metrics());
+  } else if (path == "/decisions.json") {
+    response.content_type = "application/json";
+    response.body = DecisionLogToJson(Decisions());
+  } else if (path == "/spans.json") {
+    response.content_type = "application/json";
+    response.body = SpansJson();
+  } else if (path == "/profile.json") {
+    response.content_type = "application/json";
+    response.body = ProfileToJson(Profiler());
+  } else if (path == "/healthz") {
+    response.body = "ok\n";
+  } else if (path == "/trace/start") {
+    Trace().Clear();
+    SetTraceEnabled(true);
+    response.content_type = "application/json";
+    response.body = "{\"tracing\":true}";
+  } else if (path == "/trace/stop") {
+    SetTraceEnabled(false);
+    const std::string out_file = QueryParam(query, "out");
+    if (out_file.empty()) {
+      response.content_type = "application/json";
+      response.body = SpansJson();
+    } else {
+      const std::string json = TraceToChromeJson();
+      std::ofstream out(out_file, std::ios::binary | std::ios::trunc);
+      out.write(json.data(), static_cast<std::streamsize>(json.size()));
+      out.flush();
+      if (out.good()) {
+        response.content_type = "application/json";
+        response.body = "{\"tracing\":false,\"out\":\"" + out_file + "\"}";
+      } else {
+        response.status = 500;
+        response.body = "cannot write " + out_file + "\n";
+      }
+    }
+  }
+  return response;
+}
+
+/// Sends the whole buffer, retrying short writes; best effort (a client
+/// that hung up mid-response is its own problem).
+void SendAll(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n <= 0) return;
+    data.remove_prefix(static_cast<size_t>(n));
+  }
+}
+
+void SendResponse(int fd, const HttpResponse& response) {
+  std::string head = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                     std::string(ReasonPhrase(response.status)) + "\r\n";
+  head += "Content-Type: " + response.content_type + "\r\n";
+  head += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  if (!response.allow.empty()) head += "Allow: " + response.allow + "\r\n";
+  head += "Connection: close\r\n\r\n";
+  SendAll(fd, head);
+  SendAll(fd, response.body);
+}
+
+}  // namespace
+
+HttpExporter::HttpExporter(Options options) : options_(std::move(options)) {}
+
+HttpExporter::~HttpExporter() { Stop(); }
+
+Status HttpExporter::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("http exporter already running");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(fd);
+    return Status::IoError("invalid bind address: " + options_.bind_address);
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const Status status =
+        Status::IoError(std::string("bind: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, options_.backlog) != 0) {
+    const Status status =
+        Status::IoError(std::string("listen: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) ==
+      0) {
+    port_.store(ntohs(bound.sin_port), std::memory_order_release);
+  }
+
+  listen_fd_ = fd;
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void HttpExporter::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stop_.store(true, std::memory_order_release);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    // Drain in-flight handlers so a caller tearing down right after Stop
+    // cannot yank state out from under a request that is still rendering.
+    std::unique_lock<std::mutex> lock(drain_mutex_);
+    drain_cv_.wait(lock, [this] { return active_handlers_ == 0; });
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void HttpExporter::AcceptLoop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check the stop flag
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    {
+      std::lock_guard<std::mutex> lock(drain_mutex_);
+      ++active_handlers_;
+    }
+    Pool().Submit([this, client] {
+      HandleConnection(client);
+      std::lock_guard<std::mutex> lock(drain_mutex_);
+      if (--active_handlers_ == 0) drain_cv_.notify_all();
+    });
+  }
+}
+
+void HttpExporter::HandleConnection(int fd) {
+  ADICT_TRACE_SPAN("obs.http.request");
+  Histogram* latency = nullptr;
+  if (Enabled()) {
+    static Counter* requests = Metrics().GetCounter(
+        "obs.http.requests", "requests", "HTTP requests accepted");
+    requests->Increment();
+    static Histogram* histogram = Metrics().GetHistogram(
+        "obs.http.request.us", {}, "us",
+        "HTTP request handling latency (parse through response)");
+    latency = histogram;
+  }
+  ScopedTimer timer(latency);
+
+  // A stalled client must not pin a pool lane forever.
+  timeval timeout{};
+  timeout.tv_sec = 5;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+
+  std::string request;
+  bool complete = false;
+  char buf[2048];
+  while (request.size() < kMaxRequestBytes) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    request.append(buf, static_cast<size_t>(n));
+    if (request.find("\r\n\r\n") != std::string::npos) {
+      complete = true;
+      break;
+    }
+  }
+
+  HttpResponse response;
+  if (!complete) {
+    response.status = 400;
+    response.body = "bad request\n";
+  } else {
+    const size_t line_end = request.find("\r\n");
+    const std::string_view line = std::string_view(request).substr(0, line_end);
+    const size_t method_end = line.find(' ');
+    const size_t target_end =
+        method_end == std::string_view::npos
+            ? std::string_view::npos
+            : line.find(' ', method_end + 1);
+    if (target_end == std::string_view::npos) {
+      response.status = 400;
+      response.body = "bad request\n";
+    } else {
+      const std::string_view method = line.substr(0, method_end);
+      std::string_view target =
+          line.substr(method_end + 1, target_end - method_end - 1);
+      std::string_view query;
+      const size_t question = target.find('?');
+      if (question != std::string_view::npos) {
+        query = target.substr(question + 1);
+        target = target.substr(0, question);
+      }
+      response = HandleRequest(method, target, query);
+    }
+  }
+  if (response.status >= 400 && Enabled()) {
+    static Counter* errors = Metrics().GetCounter(
+        "obs.http.errors", "responses",
+        "HTTP responses with a 4xx or 5xx status");
+    errors->Increment();
+  }
+  SendResponse(fd, response);
+  ::close(fd);
+}
+
+}  // namespace obs
+}  // namespace adict

@@ -1,0 +1,106 @@
+// Dependency-free HTTP/1.1 stats server: the live exposition plane.
+//
+// Everything the obs layer collects — the Prometheus text exposition, the
+// decision log, recent trace spans, and the workload profiler's per-column
+// heat and per-query attribution — was previously report-at-shutdown only.
+// The exporter serves it live so a Prometheus scraper (or a plain curl) can
+// watch the adaptive loop run:
+//
+//   GET  /metrics         0.0.4 text exposition (export.h), heat gauges
+//                         refreshed before each scrape
+//   GET  /decisions.json  DecisionLog ring + predicted-vs-actual accuracy
+//   GET  /spans.json      bounded snapshot of recent completed spans
+//                         (Chrome trace_event JSON)
+//   GET  /profile.json    workload profiler: per-column heat + latency
+//                         quantiles, per-query attribution, the
+//                         recompression scheduler's latest ranking
+//   GET  /healthz         liveness probe, "ok"
+//   POST /trace/start     clears the tracer and enables span recording
+//   POST /trace/stop      disables recording; ?out=FILE writes Chrome
+//                         trace JSON to FILE, otherwise the JSON is the
+//                         response body
+//
+// Design constraints, in order:
+//   1. No third-party dependency: raw POSIX sockets, a minimal request
+//      parser (method + target + headers, bounded at 8 KiB), one response
+//      per connection (Connection: close).
+//   2. The accept loop runs on a dedicated thread; each accepted
+//      connection is handled on the shared ThreadPool (util/thread_pool.h)
+//      so a slow client never blocks accepting, and a pool of parallelism
+//      1 degrades to serving inline.
+//   3. Stop() is clean under load: the accept loop polls a stop flag, no
+//      new connections are taken, and in-flight handlers are drained
+//      before Stop returns (the shutdown test exercises this with
+//      concurrent requests).
+//
+// docs/observability.md#http-endpoints documents every route; the
+// endpoint<->docs sync is linted (tools/adict_lint.py, check `endpoints`).
+#ifndef ADICT_OBS_HTTP_EXPORTER_H_
+#define ADICT_OBS_HTTP_EXPORTER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "util/status.h"
+
+namespace adict {
+namespace obs {
+
+class HttpExporter {
+ public:
+  struct Options {
+    /// TCP port to listen on; 0 picks an ephemeral port (read it back with
+    /// port() — tests use this to avoid collisions).
+    int port = 0;
+    /// Bind address. The default only accepts loopback connections; bind
+    /// "0.0.0.0" deliberately to expose the stats to the network.
+    std::string bind_address = "127.0.0.1";
+    int backlog = 16;
+  };
+
+  explicit HttpExporter(Options options);
+  HttpExporter() : HttpExporter(Options()) {}
+  /// Stops the server if still running.
+  ~HttpExporter();
+  HttpExporter(const HttpExporter&) = delete;
+  HttpExporter& operator=(const HttpExporter&) = delete;
+
+  /// Binds, listens, and starts the accept thread. Fails (never aborts) on
+  /// socket errors — a busy port must not take the store down.
+  Status Start();
+
+  /// Stops accepting, drains in-flight request handlers, joins the accept
+  /// thread. Idempotent; safe to call while requests are being served.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// The bound port (resolved after Start() when Options::port was 0).
+  int port() const { return port_.load(std::memory_order_acquire); }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+
+  const Options options_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<int> port_{0};
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+
+  // In-flight handler drain (same discipline as the recompression
+  // scheduler): the counter is only touched under drain_mutex_.
+  std::mutex drain_mutex_;
+  std::condition_variable drain_cv_;
+  int active_handlers_ = 0;
+};
+
+}  // namespace obs
+}  // namespace adict
+
+#endif  // ADICT_OBS_HTTP_EXPORTER_H_

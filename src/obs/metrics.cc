@@ -97,7 +97,8 @@ std::string_view MetricTypeName(MetricType type) {
 
 MetricsRegistry::Entry* MetricsRegistry::GetOrCreate(
     std::string_view name, MetricType type, std::string_view unit,
-    std::string_view help, std::span<const double> bounds) {
+    std::string_view help, std::string_view labels,
+    std::span<const double> bounds) {
   MutexLock lock(&mutex_);
   const auto it = entries_.find(name);
   if (it != entries_.end()) {
@@ -109,6 +110,7 @@ MetricsRegistry::Entry* MetricsRegistry::GetOrCreate(
   entry.name = std::string(name);
   entry.unit = std::string(unit);
   entry.help = std::string(help);
+  entry.labels = std::string(labels);
   entry.type = type;
   switch (type) {
     case MetricType::kCounter:
@@ -127,21 +129,24 @@ MetricsRegistry::Entry* MetricsRegistry::GetOrCreate(
 
 Counter* MetricsRegistry::GetCounter(std::string_view name,
                                      std::string_view unit,
-                                     std::string_view help) {
-  return GetOrCreate(name, MetricType::kCounter, unit, help, {})
+                                     std::string_view help,
+                                     std::string_view labels) {
+  return GetOrCreate(name, MetricType::kCounter, unit, help, labels, {})
       ->counter.get();
 }
 
 Gauge* MetricsRegistry::GetGauge(std::string_view name, std::string_view unit,
-                                 std::string_view help) {
-  return GetOrCreate(name, MetricType::kGauge, unit, help, {})->gauge.get();
+                                 std::string_view help,
+                                 std::string_view labels) {
+  return GetOrCreate(name, MetricType::kGauge, unit, help, labels, {})
+      ->gauge.get();
 }
 
 Histogram* MetricsRegistry::GetHistogram(std::string_view name,
                                          std::span<const double> bounds,
                                          std::string_view unit,
                                          std::string_view help) {
-  return GetOrCreate(name, MetricType::kHistogram, unit, help, bounds)
+  return GetOrCreate(name, MetricType::kHistogram, unit, help, "", bounds)
       ->histogram.get();
 }
 

@@ -108,6 +108,11 @@ class MetricsRegistry {
     std::string name;
     std::string unit;  // e.g. "us", "bytes", "calls"; informational
     std::string help;
+    // Constant label set in Prometheus syntax, e.g. `version="1",x="y"`;
+    // fixed at first registration (later Get* calls never change it), so
+    // exporters may read it without the registry mutex. Empty for most
+    // metrics; info-style gauges (adict_build_info) use it.
+    std::string labels;
     MetricType type;
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
@@ -115,9 +120,10 @@ class MetricsRegistry {
   };
 
   Counter* GetCounter(std::string_view name, std::string_view unit = "",
-                      std::string_view help = "");
+                      std::string_view help = "",
+                      std::string_view labels = "");
   Gauge* GetGauge(std::string_view name, std::string_view unit = "",
-                  std::string_view help = "");
+                  std::string_view help = "", std::string_view labels = "");
   /// Default bounds: DefaultLatencyBucketsUs().
   Histogram* GetHistogram(std::string_view name,
                           std::span<const double> bounds = {},
@@ -134,6 +140,7 @@ class MetricsRegistry {
  private:
   Entry* GetOrCreate(std::string_view name, MetricType type,
                      std::string_view unit, std::string_view help,
+                     std::string_view labels,
                      std::span<const double> bounds) ADICT_EXCLUDES(mutex_);
 
   mutable Mutex mutex_;

@@ -1,6 +1,10 @@
 #include "obs/obs.h"
 
 #include <atomic>
+#include <chrono>
+#include <string>
+
+#include "obs/workload_profiler.h"
 
 namespace adict {
 namespace obs {
@@ -25,9 +29,30 @@ void SetEnabled(bool enabled) {
   g_enabled.store(enabled, std::memory_order_relaxed);
 }
 
+void RegisterProcessMetrics(int num_dict_formats) {
+  // Close enough to the true process start for restart detection; a fixed
+  // value per process is what Prometheus' resets() needs.
+  static const double start_seconds =
+      std::chrono::duration<double>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  const std::string labels = std::string("version=\"") + kBuildVersion +
+                             "\",formats=\"" +
+                             std::to_string(num_dict_formats) + "\"";
+  Metrics()
+      .GetGauge("adict_build_info", "info",
+                "build metadata as labels; the value is always 1", labels)
+      ->Set(1);
+  Metrics()
+      .GetGauge("process_start_time_seconds", "seconds",
+                "unix time this process started")
+      ->Set(start_seconds);
+}
+
 void ResetForTest() {
   Metrics().ResetValues();
   Decisions().Clear();
+  Profiler().ResetValues();
 }
 
 }  // namespace obs

@@ -34,8 +34,20 @@ DecisionLog& Decisions();
 bool Enabled();
 void SetEnabled(bool enabled);
 
-/// Zeroes all metric values and clears the decision log without
-/// invalidating metric pointers cached at instrumentation sites.
+/// Registers the process-identity metrics scrapes use to compute uptime
+/// and detect restarts: `adict_build_info` (value 1, with version and
+/// format-count labels) and `process_start_time_seconds` (unix time,
+/// captured once at the first call). The dictionary format count is a
+/// parameter so the obs layer stays independent of the dict layer; callers
+/// pass kNumDictFormats. Idempotent.
+void RegisterProcessMetrics(int num_dict_formats);
+
+/// Version string baked into adict_build_info.
+inline constexpr const char* kBuildVersion = "0.8.0";
+
+/// Zeroes all metric values, clears the decision log, and resets the
+/// workload profiler without invalidating metric or heat-slot pointers
+/// cached at instrumentation sites.
 void ResetForTest();
 
 }  // namespace obs

@@ -91,8 +91,14 @@ StringColumn MergeDelta(const StringColumn& main, const DeltaColumn& delta,
                         DictFormat format) {
   ADICT_TRACE_SPAN("merge.delta");
   obs::ScopedTimer timer(MergeTimerHistogram());
+  obs::ScopedColumnOp heat_op(main.heat(), obs::ColumnOp::kMerge, 1,
+                              obs::OpTiming::kAlways);
   CountMerge(main, delta);
-  return StringColumn::FromEncoded(MergeEncode(main, delta), format);
+  StringColumn merged =
+      StringColumn::FromEncoded(MergeEncode(main, delta), format);
+  heat_op.AddBytes(merged.DictionaryBytes());
+  merged.BindHeat(main.heat());
+  return merged;
 }
 
 StringColumn MergeDeltaAdaptive(const StringColumn& main,
@@ -102,6 +108,8 @@ StringColumn MergeDeltaAdaptive(const StringColumn& main,
                                 std::string_view column_id) {
   ADICT_TRACE_SPAN("merge.delta_adaptive");
   obs::ScopedTimer timer(MergeTimerHistogram());
+  obs::ScopedColumnOp heat_op(main.heat(), obs::ColumnOp::kMerge, 1,
+                              obs::OpTiming::kAlways);
   CountMerge(main, delta);
   DomainEncoded encoded = MergeEncode(main, delta);
 
@@ -139,6 +147,8 @@ StringColumn MergeDeltaAdaptive(const StringColumn& main,
     obs::Decisions().RecordActual(
         decision.log_sequence, static_cast<double>(merged.DictionaryBytes()));
   }
+  heat_op.AddBytes(merged.DictionaryBytes());
+  merged.BindHeat(main.heat());
   return merged;
 }
 

@@ -20,6 +20,7 @@
 #include "dict/dictionary.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
+#include "obs/workload_profiler.h"
 #include "store/column_vector.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
@@ -49,12 +50,14 @@ class StringColumn {
   StringColumn(StringColumn&& other) noexcept
       : dict_(std::move(other.dict_)),
         vector_(std::move(other.vector_)),
+        heat_(other.heat_),
         num_extracts_(
             other.num_extracts_.load(std::memory_order_relaxed)),
         num_locates_(other.num_locates_.load(std::memory_order_relaxed)) {}
   StringColumn& operator=(StringColumn&& other) noexcept {
     dict_ = std::move(other.dict_);
     vector_ = std::move(other.vector_);
+    heat_ = other.heat_;
     num_extracts_.store(other.num_extracts_.load(std::memory_order_relaxed),
                         std::memory_order_relaxed);
     num_locates_.store(other.num_locates_.load(std::memory_order_relaxed),
@@ -87,13 +90,19 @@ class StringColumn {
   /// Value of `row` (counted as one extract).
   std::string GetValue(uint64_t row) const {
     CountExtracts(1);
-    return dict_->Extract(vector_.Get(row));
+    obs::ScopedColumnOp op(heat_, obs::ColumnOp::kExtract);
+    std::string value = dict_->Extract(vector_.Get(row));
+    op.AddBytes(value.size());
+    return value;
   }
 
   /// Appends the value of `row` to `out` (counted as one extract).
   void GetValueInto(uint64_t row, std::string* out) const {
     CountExtracts(1);
+    obs::ScopedColumnOp op(heat_, obs::ColumnOp::kExtract);
+    const size_t before = out->size();
     dict_->ExtractInto(vector_.Get(row), out);
+    op.AddBytes(out->size() - before);
   }
 
   /// Value ID of `row` (pure vector access, no dictionary cost).
@@ -107,13 +116,18 @@ class StringColumn {
           "dict.locate.count", "calls", "dictionary locate calls");
       locates->Increment();
     }
+    obs::ScopedColumnOp op(heat_, obs::ColumnOp::kLocate);
+    op.AddBytes(value.size());
     return dict_->Locate(value);
   }
 
   /// Extracts the dictionary entry for a value ID (counted as one extract).
   std::string ExtractId(uint32_t id) const {
     CountExtracts(1);
-    return dict_->Extract(id);
+    obs::ScopedColumnOp op(heat_, obs::ColumnOp::kExtract);
+    std::string value = dict_->Extract(id);
+    op.AddBytes(value.size());
+    return value;
   }
 
   /// Sequentially scans dictionary entries [first, first + count) (counted
@@ -128,6 +142,13 @@ class StringColumn {
           "dict.scan.entries", "entries", "entries read via dictionary scans");
       scanned->Increment(count);
     }
+    // Bytes touched is approximated from the compressed dictionary size —
+    // summing entry lengths in the callback would tax every scanned entry.
+    obs::ScopedColumnOp op(count == 0 ? nullptr : heat_,
+                           obs::ColumnOp::kScan, count);
+    op.AddBytes(num_distinct() == 0
+                    ? 0
+                    : DictionaryBytes() * count / num_distinct());
     dict_->Scan(first, count, fn);
   }
 
@@ -176,6 +197,13 @@ class StringColumn {
     num_locates_.store(0, std::memory_order_relaxed);
   }
 
+  /// Binds the column to a workload-profiler heat slot (null detaches).
+  /// Not synchronized: bind before the column is shared across threads —
+  /// Table::AddStringColumn does, and publishes inherit the slot inside
+  /// the version mutex (VersionedStringColumn::Publish).
+  void BindHeat(obs::ColumnHeat* heat) { heat_ = heat; }
+  obs::ColumnHeat* heat() const { return heat_; }
+
  private:
   /// Bumps both the per-column usage trace and the global extract counter.
   void CountExtracts(uint64_t n) const {
@@ -189,6 +217,10 @@ class StringColumn {
 
   std::unique_ptr<Dictionary> dict_;
   ColumnVector vector_;
+  // Workload-profiler slot, or null when unbound. Written only before the
+  // column is shared (see BindHeat); the slot itself is internally
+  // synchronized, so const accessors may record through it concurrently.
+  obs::ColumnHeat* heat_ = nullptr;
   // Usage trace; relaxed atomics so concurrent readers of a shared column
   // can count their accesses without a data race (TSan-checked in
   // tests/concurrency_test.cc). Counts may interleave with TracedUsage()
@@ -238,6 +270,9 @@ class VersionedStringColumn {
     uint64_t epoch;
     {
       MutexLock lock(&mutex_);
+      // The heat slot follows the column across rebuilds and merges: bind
+      // before the swap, while no reader can hold the new version yet.
+      if (version->heat() == nullptr) version->BindHeat(current_->heat());
       current_ = std::move(version);
       epoch = epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
     }
@@ -269,6 +304,7 @@ class VersionedStringColumn {
       if (epoch_.load(std::memory_order_acquire) != expected_epoch) {
         return false;
       }
+      if (version->heat() == nullptr) version->BindHeat(current_->heat());
       current_ = std::move(version);
       epoch = epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
     }

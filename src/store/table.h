@@ -28,6 +28,9 @@ class Table {
 
   void AddStringColumn(const std::string& name, StringColumn column) {
     CheckRows(column.num_rows());
+    // Bind the workload-profiler heat slot before the column is shared;
+    // every later version inherits it through Publish.
+    column.BindHeat(obs::Profiler().GetColumn(name_ + "." + name));
     string_index_[name] = string_columns_.size();
     string_columns_.push_back(
         std::make_unique<VersionedStringColumn>(std::move(column)));

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "obs/trace.h"
+#include "obs/workload_profiler.h"
 #include "tpch/queries.h"
 #include "tpch/query_helpers.h"
 #include "util/check.h"
@@ -626,9 +627,13 @@ QueryResult RunTpchQuery(const TpchDatabase& db, int query) {
       "tpch.q13", "tpch.q14", "tpch.q15", "tpch.q16", "tpch.q17", "tpch.q18",
       "tpch.q19", "tpch.q20", "tpch.q21", "tpch.q22"};
   // adict-lint: span-names-end
-  obs::ScopedSpan span(query >= 1 && query <= kNumTpchQueries
-                           ? kQuerySpans[query - 1]
-                           : "tpch.q??");
+  const char* span_name = query >= 1 && query <= kNumTpchQueries
+                              ? kQuerySpans[query - 1]
+                              : "tpch.q??";
+  obs::ScopedSpan span(span_name);
+  // Per-query latency attribution: diff every column's heat slot across the
+  // query and push the result into the profiler ring (/profile.json).
+  obs::ScopedQueryProfile profile(span_name);
   switch (query) {
     case 1: return Q1(db);
     case 2: return Q2(db);

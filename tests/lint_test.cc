@@ -153,7 +153,20 @@ Status Caller() {
 | 0 | `kArray` | `array` |
 | 1 | `kFcBlock` | `fc block` |
 )lint");
+    Write("src/obs/http_exporter.cc", R"lint(
+// adict-lint: http-routes-begin
+constexpr Route kRoutes[] = {
+    {"/mini", "GET"},
+};
+// adict-lint: http-routes-end
+)lint");
     Write("docs/observability.md", R"lint(# Observability
+
+## HTTP endpoints
+
+| Endpoint | Returns |
+|---|---|
+| `GET /mini` | the one route |
 
 ## Metric reference
 
@@ -237,6 +250,12 @@ void TouchMore() {
 TEST_F(LintTest, StaleMetricDocRow) {
   Write("docs/observability.md", R"lint(# Observability
 
+## HTTP endpoints
+
+| Endpoint | Returns |
+|---|---|
+| `GET /mini` | the one route |
+
 ## Metric reference
 
 | Name | Unit |
@@ -272,6 +291,57 @@ void TraceMore() {
   EXPECT_EQ(result.exit_code, 1) << result.output;
   EXPECT_NE(result.output.find("span \"mini.rogue\" is opened here but "
                                "missing from the span catalog"),
+            std::string::npos)
+      << result.output;
+}
+
+TEST_F(LintTest, UndocumentedHttpRoute) {
+  Write("src/obs/http_exporter.cc", R"lint(
+// adict-lint: http-routes-begin
+constexpr Route kRoutes[] = {
+    {"/mini", "GET"},
+    {"/rogue", "POST"},
+};
+// adict-lint: http-routes-end
+)lint");
+  const LintResult result = RunLint(root_);
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find("HTTP route \"POST /rogue\" is served here "
+                               "but not documented"),
+            std::string::npos)
+      << result.output;
+}
+
+TEST_F(LintTest, StaleEndpointDocRow) {
+  Write("docs/observability.md", R"lint(# Observability
+
+## HTTP endpoints
+
+| Endpoint | Returns |
+|---|---|
+| `GET /mini` | the one route |
+| `GET /ghost` | a route the exporter never served |
+
+## Metric reference
+
+| Name | Unit |
+|---|---|
+| `mini.counter` | calls |
+
+Per-format counters: `manager.chosen.array` and `manager.chosen.fc_block`.
+
+## Tracing
+
+### Span catalog
+
+| Span | What |
+|---|---|
+| `mini.span` | the one span |
+)lint");
+  const LintResult result = RunLint(root_);
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find("documented HTTP endpoint \"GET /ghost\" is "
+                               "not in the exporter's route table"),
             std::string::npos)
       << result.output;
 }

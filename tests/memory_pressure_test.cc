@@ -25,6 +25,7 @@
 #include "core/controller.h"
 #include "core/recompression_scheduler.h"
 #include "obs/obs.h"
+#include "obs/workload_profiler.h"
 #include "store/string_column.h"
 #include "store/table.h"
 #include "util/failpoint.h"
@@ -343,6 +344,80 @@ TEST_F(MemoryPressureTest, CooldownStopsBackToBackRebuilds) {
   EXPECT_LE(stats.rebuilds + stats.noop_decisions, 1u);
   EXPECT_GE(stats.skipped_cooldown, 1u);
   scheduler.Stop();
+}
+
+TEST_F(MemoryPressureTest, EvictsColdestColumnByDecayedHeat) {
+  // Two same-shaped columns (equal-length prefixes -> near-identical
+  // dictionary bytes), so the ranking is decided by traffic alone.
+  Table table("evict");
+  table.AddStringColumn(
+      "was_hot", StringColumn::FromValues(MakeStrings(512, 4096, "aaaa"),
+                                          DictFormat::kArray));
+  table.AddStringColumn(
+      "is_hot", StringColumn::FromValues(MakeStrings(512, 4096, "bbbb"),
+                                         DictFormat::kArray));
+
+  // was_hot saw an order of magnitude more lifetime traffic than is_hot —
+  // but long ago. Under the paper's raw lifetime counters it would rank as
+  // the hotter column and survive; the decayed heat says otherwise.
+  for (int i = 0; i < 5000; ++i) {
+    (void)table.strings("was_hot").GetValue(i % 512);
+  }
+  for (int i = 0; i < 400; ++i) {
+    (void)table.strings("is_hot").GetValue(i % 512);
+  }
+  obs::ColumnHeat* was_hot = table.strings("was_hot").heat();
+  ASSERT_NE(was_hot, nullptr);
+  was_hot->DecayForTest(600.0);  // 20 half-lives: heat 5000 -> ~0.005
+  EXPECT_LT(was_hot->DecayedHeat(), 1.0);
+  EXPECT_GT(table.strings("is_hot").heat()->DecayedHeat(), 100.0);
+
+  CompressionManager manager;
+  RecompressionScheduler::Options options = FastOptions();
+  options.cooldown_ticks = 100;  // one eviction decision, no second pick
+  RecompressionScheduler scheduler(&table, &manager, options);
+
+  // One advisory tick: budget for exactly one rebuild.
+  scheduler.OnSample(Sample(75));
+  scheduler.Stop();
+
+  // The stale column was rebuilt out of the fat array; the currently hot
+  // one was left alone.
+  EXPECT_NE(table.string_column(0).Snapshot()->format(), DictFormat::kArray);
+  EXPECT_EQ(table.string_column(1).Snapshot()->format(), DictFormat::kArray);
+
+  // The decision is visible: the profiler holds the ranking that drove it,
+  // coldest first, with the decayed heat it divided by.
+  const std::vector<obs::SchedulerRankEntry> ranking =
+      obs::Profiler().LatestSchedulerRanking();
+  ASSERT_EQ(ranking.size(), 2u);
+  EXPECT_EQ(ranking[0].column, "was_hot");
+  EXPECT_EQ(ranking[1].column, "is_hot");
+  EXPECT_LT(ranking[0].decayed_heat, 1.0);
+  EXPECT_GT(ranking[1].decayed_heat, 100.0);
+  EXPECT_GT(ranking[0].score, ranking[1].score);
+}
+
+TEST_F(MemoryPressureTest, RebuiltColumnKeepsItsHeatSlot) {
+  Table table("keepheat");
+  table.AddStringColumn(
+      "col", StringColumn::FromValues(MakeStrings(512, 2048, "keep"),
+                                      DictFormat::kArray));
+  obs::ColumnHeat* slot = table.strings("col").heat();
+  ASSERT_NE(slot, nullptr);
+
+  CompressionManager manager;
+  RecompressionScheduler scheduler(&table, &manager, FastOptions());
+  scheduler.OnSample(Sample(98));
+  scheduler.Stop();
+  ASSERT_GE(scheduler.stats().rebuilds, 1u);
+
+  // The published rebuild inherited the same slot, so heat keeps
+  // accumulating across format changes.
+  EXPECT_EQ(table.string_column(0).Snapshot()->heat(), slot);
+  const uint64_t before = slot->Totals(obs::ColumnOp::kExtract).count;
+  (void)table.strings("col").GetValue(0);
+  EXPECT_EQ(slot->Totals(obs::ColumnOp::kExtract).count, before + 1);
 }
 
 TEST_F(MemoryPressureTest, StallingRebuildsTriggerBackoff) {

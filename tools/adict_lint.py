@@ -1,13 +1,14 @@
 #!/usr/bin/env python3
 """adict_lint: repo-invariant checker for the adaptive-dictionary codebase.
 
-The 18 dictionary formats, the metric names, and the trace-span names each
-live in several independent places (dispatch switches, docs tables, the
-committed benchmark baseline). Nothing ties those surfaces together at
-compile time, so additions drift: a 19th format lands in the enum but not
-in the size model, a new counter never reaches docs/observability.md. This
-lint parses the sources and docs directly (plain text, no libclang) and
-fails CI the moment any surface disagrees with the others.
+The 18 dictionary formats, the metric names, the trace-span names, and the
+HTTP exporter's routes each live in several independent places (dispatch
+switches, docs tables, the committed benchmark baseline). Nothing ties
+those surfaces together at compile time, so additions drift: a 19th format
+lands in the enum but not in the size model, a new counter or endpoint
+never reaches docs/observability.md. This lint parses the sources and docs
+directly (plain text, no libclang) and fails CI the moment any surface
+disagrees with the others.
 
 Usage:
     tools/adict_lint.py [--root DIR] [--list-checks] [CHECK ...]
@@ -497,16 +498,27 @@ DISCARD_OK_RE = re.compile(
 
 def status_function_names(root: Path) -> set[str]:
     names: set[str] = set()
+    void_names: set[str] = set()
+    void_re = re.compile(
+        r"^\s*(?:virtual\s+|static\s+|inline\s+)*"
+        r"void\s+(?:\w+::)?(\w+)\s*\(",
+        re.M,
+    )
     for path in sorted((root / "src").rglob("*")):
         if path.suffix not in (".h", ".cc"):
             continue
         text = strip_comments(read_text(path))
         for match in STATUS_FN_DECL_RE.finditer(text):
             names.add(match.group(1))
+        for match in void_re.finditer(text):
+            void_names.add(match.group(1))
     # Constructors / factories named like the type itself are not calls.
     names.discard("Status")
     names.discard("StatusOr")
-    return names
+    # A name that is also declared void-returning somewhere (e.g. Start on
+    # both HttpExporter -> Status and MemorySampler -> void) is ambiguous
+    # to a text-level audit: skip it rather than flag void calls.
+    return names - void_names
 
 
 def check_nodiscard(root: Path, rep: Reporter) -> None:
@@ -552,6 +564,75 @@ def check_nodiscard(root: Path, rep: Reporter) -> None:
 
 
 # ---------------------------------------------------------------------------
+# Endpoint checks: the HTTP exporter's route table <-> docs/observability.md
+
+
+ROUTE_BLOCK_BEGIN = "adict-lint: http-routes-begin"
+ROUTE_BLOCK_END = "adict-lint: http-routes-end"
+ROUTE_ENTRY_RE = re.compile(r"\{\s*\"(/[^\"]*)\",\s*\"(GET|POST)\"\s*\}")
+DOC_ENDPOINT_RE = re.compile(r"\|\s*`(GET|POST)\s+(/\S+)`\s*\|")
+
+
+def code_endpoints(root: Path) -> dict[str, tuple[Path, int]]:
+    """`METHOD /path` routes from the exporter's marked route table."""
+    path = root / "src/obs/http_exporter.cc"
+    raw = read_text(path)
+    begin = raw.find(ROUTE_BLOCK_BEGIN)
+    end = raw.find(ROUTE_BLOCK_END, begin)
+    if begin == -1 or end == -1:
+        raise LintError(f"{path}: cannot find the {ROUTE_BLOCK_BEGIN} block")
+    routes: dict[str, tuple[Path, int]] = {}
+    for match in ROUTE_ENTRY_RE.finditer(raw, begin, end):
+        routes.setdefault(
+            f"{match.group(2)} {match.group(1)}",
+            (path, line_of(raw, match.start())),
+        )
+    if not routes:
+        raise LintError(f"{path}: route table parsed to zero routes")
+    return routes
+
+
+def doc_endpoints(root: Path) -> dict[str, int]:
+    """`METHOD /path` rows from the `## HTTP endpoints` table."""
+    path = root / "docs/observability.md"
+    doc = read_text(path)
+    match = re.search(r"## HTTP endpoints(.*?)\n## ", doc, re.S)
+    if not match:
+        raise LintError(f"{path}: cannot find the `## HTTP endpoints` section")
+    endpoints: dict[str, int] = {}
+    base = line_of(doc, match.start(1))
+    for i, line in enumerate(match.group(1).splitlines()):
+        row = DOC_ENDPOINT_RE.match(line)
+        if row:
+            endpoints.setdefault(f"{row.group(1)} {row.group(2)}", base + i)
+    if not endpoints:
+        raise LintError(f"{path}: HTTP endpoints table parsed to zero rows")
+    return endpoints
+
+
+def check_endpoints(root: Path, rep: Reporter) -> None:
+    check = "endpoints"
+    code = code_endpoints(root)
+    doc = doc_endpoints(root)
+    doc_path = root / "docs/observability.md"
+    for route, (path, line) in sorted(code.items()):
+        if route not in doc:
+            rep.report(
+                path, line, check,
+                f"HTTP route \"{route}\" is served here but not documented "
+                f"in docs/observability.md — add it to the HTTP endpoints "
+                f"table",
+            )
+    for route, line in sorted(doc.items()):
+        if route not in code:
+            rep.report(
+                doc_path, line, check,
+                f"documented HTTP endpoint \"{route}\" is not in the "
+                f"exporter's route table — stale doc row?",
+            )
+
+
+# ---------------------------------------------------------------------------
 # Driver
 
 
@@ -559,6 +640,7 @@ CHECKS = {
     "formats": check_formats,
     "metrics": check_metrics,
     "spans": check_spans,
+    "endpoints": check_endpoints,
     "nodiscard": check_nodiscard,
 }
 
