@@ -1,0 +1,344 @@
+// Closed-loop throughput of the network query server: N client threads,
+// each with its own connection, issue requests back-to-back from a fixed
+// 16-query pool against TPC-H tables, swept over clients {1, 2, 4, 8} and
+// result cache {on, off}. The pool is smaller than the request count, so
+// with the cache on most requests after warmup are digest hits — the sweep
+// shows what the epoch-validated cache buys on a read-heavy workload and
+// what the full execute path costs without it.
+//
+// Results are JSON rows ({bench, mode, clients, metric, value, unit,
+// rss_bytes, git_sha}) written to BENCH_server.json. metric is one of
+// p50_us | p95_us | p99_us | queries_per_sec | cache_hit_rate. Absolute
+// numbers are machine-dependent; CI runs --quick, validates the schema,
+// and uploads the artifact without gating on timings.
+//
+//   $ ./build/bench/server_throughput            # SF 0.1, full sweep
+//   $ ./build/bench/server_throughput --quick    # CI smoke scale
+//   $ ./build/bench/server_throughput --sf 0.5 --out /tmp/s.json
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/protocol.h"
+#include "server/query_server.h"
+#include "tpch/dbgen.h"
+#include "util/net.h"
+#include "util/stopwatch.h"
+
+using namespace adict;
+
+namespace {
+
+struct Config {
+  double scale_factor = 0.1;
+  int requests_per_client = 400;
+  std::vector<size_t> sweep = {1, 2, 4, 8};
+  std::string out_path = "BENCH_server.json";
+};
+
+struct Row {
+  std::string bench;  // server
+  std::string mode;   // cache_on | cache_off
+  size_t clients = 1;
+  std::string metric;  // p50_us | p95_us | p99_us | queries_per_sec | cache_hit_rate
+  double value = 0;
+  std::string unit;  // us | qps | ratio
+};
+
+uint64_t CurrentRssBytes() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  uint64_t rss_kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::sscanf(line, "VmRSS: %" SCNu64 " kB", &rss_kb) == 1) break;
+  }
+  std::fclose(f);
+  return rss_kb * 1024;
+}
+
+std::string GitSha() {
+  if (const char* env = std::getenv("GITHUB_SHA"); env != nullptr) return env;
+  std::string sha;
+  if (std::FILE* pipe = popen("git rev-parse HEAD 2>/dev/null", "r")) {
+    char buf[128];
+    if (std::fgets(buf, sizeof(buf), pipe) != nullptr) sha = buf;
+    pclose(pipe);
+  }
+  while (!sha.empty() && std::isspace(static_cast<unsigned char>(sha.back()))) {
+    sha.pop_back();
+  }
+  return sha.empty() ? "unknown" : sha;
+}
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char ch : s) {
+    if (ch == '"' || ch == '\\') out->push_back('\\');
+    out->push_back(ch);
+  }
+  out->push_back('"');
+}
+
+/// Flat JSON array, one object per row: the BENCH_server.json schema.
+std::string RowsToJson(const std::vector<Row>& rows, uint64_t rss_bytes,
+                       const std::string& git_sha) {
+  std::string out = "[\n";
+  char buf[64];
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    out.append("  {\"bench\":");
+    AppendJsonString(&out, row.bench);
+    out.append(",\"mode\":");
+    AppendJsonString(&out, row.mode);
+    std::snprintf(buf, sizeof(buf), ",\"clients\":%zu", row.clients);
+    out.append(buf);
+    out.append(",\"metric\":");
+    AppendJsonString(&out, row.metric);
+    std::snprintf(buf, sizeof(buf), ",\"value\":%.6g", row.value);
+    out.append(buf);
+    out.append(",\"unit\":");
+    AppendJsonString(&out, row.unit);
+    std::snprintf(buf, sizeof(buf), ",\"rss_bytes\":%llu",
+                  static_cast<unsigned long long>(rss_bytes));
+    out.append(buf);
+    out.append(",\"git_sha\":");
+    AppendJsonString(&out, git_sha);
+    out.push_back('}');
+    if (i + 1 < rows.size()) out.push_back(',');
+    out.push_back('\n');
+  }
+  out.append("]\n");
+  return out;
+}
+
+/// Sixteen distinct requests over the TPC-H string columns: counts and
+/// point lookups of varying selectivity. Distinct digests, so the cache
+/// holds 16 entries after warmup.
+std::vector<Request> QueryPool() {
+  std::vector<Request> pool;
+  auto count = [&pool](const std::string& table, const std::string& column,
+                       PredicateOp op, const std::string& value,
+                       const std::string& value2 = "") {
+    Request r;
+    r.kind = QueryKind::kCount;
+    r.table = table;
+    r.column = column;
+    r.op = op;
+    r.value = value;
+    r.value2 = value2;
+    pool.push_back(r);
+  };
+  count("lineitem", "L_RETURNFLAG", PredicateOp::kEq, "A");
+  count("lineitem", "L_RETURNFLAG", PredicateOp::kEq, "N");
+  count("lineitem", "L_RETURNFLAG", PredicateOp::kEq, "R");
+  count("lineitem", "L_LINESTATUS", PredicateOp::kEq, "F");
+  count("lineitem", "L_SHIPMODE", PredicateOp::kEq, "TRUCK");
+  count("lineitem", "L_SHIPMODE", PredicateOp::kEq, "MAIL");
+  count("lineitem", "L_SHIPINSTRUCT", PredicateOp::kPrefix, "DELIVER");
+  count("lineitem", "L_COMMENT", PredicateOp::kContains, "final");
+  count("orders", "O_ORDERPRIORITY", PredicateOp::kEq, "1-URGENT");
+  count("orders", "O_ORDERPRIORITY", PredicateOp::kPrefix, "2");
+  count("orders", "O_ORDERSTATUS", PredicateOp::kEq, "O");
+  count("customer", "C_MKTSEGMENT", PredicateOp::kEq, "BUILDING");
+  count("part", "P_BRAND", PredicateOp::kEq, "Brand#13");
+  count("part", "P_CONTAINER", PredicateOp::kPrefix, "LG");
+  count("supplier", "S_COMMENT", PredicateOp::kContains, "Customer");
+  count("nation", "N_NAME", PredicateOp::kBetween, "E", "K");
+  return pool;
+}
+
+/// Minimal blocking loopback client for the length-prefixed protocol.
+class BenchClient {
+ public:
+  explicit BenchClient(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (fd_ >= 0 &&
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+            0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~BenchClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sends one request and reads one response; false on any error.
+  bool Roundtrip(const Request& request) {
+    const std::vector<uint8_t> frame = EncodeRequest(request);
+    if (!SendAll(fd_, std::string_view(
+                          reinterpret_cast<const char*>(frame.data()),
+                          frame.size()))) {
+      return false;
+    }
+    uint8_t prefix[sizeof(uint32_t)];
+    if (!RecvAll(prefix, sizeof(prefix))) return false;
+    uint32_t length = 0;
+    std::memcpy(&length, prefix, sizeof(length));
+    if (length > kMaxFrameBytes) return false;
+    body_.resize(length);
+    if (length > 0 && !RecvAll(body_.data(), body_.size())) return false;
+    const StatusOr<Response> response = DecodeResponseBody(body_);
+    return response.ok() && response->status == StatusCode::kOk;
+  }
+
+ private:
+  bool RecvAll(void* buf, size_t size) {
+    size_t got = 0;
+    while (got < size) {
+      const ssize_t n =
+          ::recv(fd_, static_cast<char*>(buf) + got, size - got, 0);
+      if (n <= 0) return false;
+      got += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  int fd_ = -1;
+  std::vector<uint8_t> body_;
+};
+
+double Percentile(std::vector<double>* sorted_us, double p) {
+  if (sorted_us->empty()) return 0;
+  const size_t index = std::min(
+      sorted_us->size() - 1,
+      static_cast<size_t>(p * static_cast<double>(sorted_us->size() - 1)));
+  return (*sorted_us)[index];
+}
+
+/// One sweep cell: a fresh server (fresh cache), `clients` closed-loop
+/// connections, every latency recorded.
+void RunCell(const TpchDatabase& db, const Config& config, bool cache_on,
+             size_t clients, std::vector<Row>* rows) {
+  QueryServer::Options options;
+  options.max_inflight = 64;
+  options.max_connections = 64;
+  options.cache_bytes = cache_on ? (8u << 20) : 0;
+  QueryServer server(options);
+  server.ServeTpch(&db);
+  if (!server.Start().ok()) {
+    std::fprintf(stderr, "server failed to start\n");
+    std::exit(1);
+  }
+
+  const std::vector<Request> pool = QueryPool();
+  std::vector<std::vector<double>> latencies(clients);
+  std::vector<std::thread> workers;
+  workers.reserve(clients);
+  Stopwatch watch;
+  for (size_t c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      BenchClient client(server.port());
+      if (!client.connected()) return;
+      std::vector<double>& out = latencies[c];
+      out.reserve(static_cast<size_t>(config.requests_per_client));
+      for (int i = 0; i < config.requests_per_client; ++i) {
+        Request request = pool[(c + static_cast<size_t>(i)) % pool.size()];
+        request.request_id = c * 1000000 + static_cast<uint64_t>(i);
+        Stopwatch request_watch;
+        if (!client.Roundtrip(request)) return;
+        out.push_back(request_watch.ElapsedSeconds() * 1e6);
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  const double seconds = watch.ElapsedSeconds();
+
+  std::vector<double> all_us;
+  for (const std::vector<double>& per_client : latencies) {
+    all_us.insert(all_us.end(), per_client.begin(), per_client.end());
+  }
+  std::sort(all_us.begin(), all_us.end());
+  const double qps = static_cast<double>(all_us.size()) / seconds;
+  const ResultCache::Stats cache_stats = server.cache().stats();
+  const uint64_t lookups = cache_stats.hits + cache_stats.misses;
+  const double hit_rate =
+      lookups == 0 ? 0.0
+                   : static_cast<double>(cache_stats.hits) /
+                         static_cast<double>(lookups);
+  server.Stop();
+
+  const std::string mode = cache_on ? "cache_on" : "cache_off";
+  rows->push_back({"server", mode, clients, "p50_us",
+                   Percentile(&all_us, 0.50), "us"});
+  rows->push_back({"server", mode, clients, "p95_us",
+                   Percentile(&all_us, 0.95), "us"});
+  rows->push_back({"server", mode, clients, "p99_us",
+                   Percentile(&all_us, 0.99), "us"});
+  rows->push_back({"server", mode, clients, "queries_per_sec", qps, "qps"});
+  rows->push_back(
+      {"server", mode, clients, "cache_hit_rate", hit_rate, "ratio"});
+  std::fprintf(stderr,
+               "%s clients=%zu  p50 %.0f us  p99 %.0f us  %.0f qps  "
+               "hit rate %.2f\n",
+               mode.c_str(), clients, Percentile(&all_us, 0.50),
+               Percentile(&all_us, 0.99), qps, hit_rate);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      config.scale_factor = 0.01;
+      config.requests_per_client = 60;
+      config.sweep = {1, 2};
+    } else if (arg == "--sf" && i + 1 < argc) {
+      config.scale_factor = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--requests" && i + 1 < argc) {
+      config.requests_per_client = std::atoi(argv[++i]);
+    } else if (arg == "--out" && i + 1 < argc) {
+      config.out_path = argv[++i];
+    } else {
+      std::fprintf(
+          stderr, "usage: %s [--quick] [--sf N] [--requests N] [--out PATH]\n",
+          argv[0]);
+      return 2;
+    }
+  }
+
+  TpchOptions options;
+  options.scale_factor = config.scale_factor;
+  std::fprintf(stderr, "generating TPC-H at SF %.3g...\n",
+               config.scale_factor);
+  const TpchDatabase db = GenerateTpch(options);
+
+  std::vector<Row> rows;
+  for (const bool cache_on : {true, false}) {
+    for (const size_t clients : config.sweep) {
+      RunCell(db, config, cache_on, clients, &rows);
+    }
+  }
+
+  const std::string json = RowsToJson(rows, CurrentRssBytes(), GitSha());
+  std::FILE* out = std::fopen(config.out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", config.out_path.c_str());
+    return 1;
+  }
+  std::fputs(json.c_str(), out);
+  std::fclose(out);
+  std::fprintf(stderr, "wrote %zu rows to %s\n", rows.size(),
+               config.out_path.c_str());
+  return 0;
+}

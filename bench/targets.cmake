@@ -21,6 +21,7 @@ set(ADICT_BENCH_SOURCES
   bench/dict_ops_benchmark.cc
   bench/memory_pressure_curve.cc
   bench/perf_regression.cc
+  bench/server_throughput.cc
   bench/throughput_over_clients.cc
 )
 
@@ -29,7 +30,7 @@ foreach(bench_source ${ADICT_BENCH_SOURCES})
   add_executable(${bench_name} ${bench_source})
   target_include_directories(${bench_name} PRIVATE ${CMAKE_SOURCE_DIR})
   target_link_libraries(${bench_name}
-    adict_tpch adict_engine adict_store adict_core adict_dict
+    adict_server adict_tpch adict_engine adict_store adict_core adict_dict
     adict_datasets adict_text adict_obs adict_util
     benchmark::benchmark)
   set_target_properties(${bench_name} PROPERTIES

@@ -30,6 +30,13 @@
 // loops the 22 TPC-H queries over a small generated database for that many
 // seconds, so there is a live workload to scrape: per-column heat, latency
 // quantiles, and per-query attribution stay in motion the whole time.
+//
+// With --serve-port N (or ADICT_SERVE_PORT=N), the binary query server
+// (docs/serving.md) listens on 127.0.0.1:N over the same TPC-H database:
+// network clients issue counts, selects, and full TPC-H queries through the
+// length-prefixed protocol, with repeated queries answered from the
+// epoch-invalidated result cache. Combine with --serve SECONDS to bound
+// the run, or run without it to serve until killed.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -47,6 +54,7 @@
 #include "obs/obs.h"
 #include "obs/trace.h"
 #include "obs/workload_profiler.h"
+#include "server/query_server.h"
 #include "store/delta.h"
 #include "store/string_column.h"
 #include "store/table.h"
@@ -185,13 +193,42 @@ int RunMemPressureDemo() {
   return 0;
 }
 
-// --serve SECONDS: loops the 22 TPC-H queries over a generated SF 0.01
-// database so the HTTP endpoints have a live workload to report on.
-int RunServeLoop(double seconds) {
+// --serve SECONDS / --serve-port N: a generated SF 0.01 TPC-H database,
+// optionally looped by the 22 queries in-process (so the HTTP endpoints
+// have a live workload) and optionally exposed to network clients through
+// the binary query server. With --serve-port but no --serve, blocks until
+// killed.
+int RunServeLoop(double seconds, int serve_port) {
   TpchOptions options;
   TpchDatabase db = GenerateTpch(options);
-  std::printf("serving TPC-H workload for %.0f s (%zu MB database)\n",
-              seconds, db.MemoryBytes() / (1024 * 1024));
+  std::printf("TPC-H database ready (%zu MB)\n",
+              db.MemoryBytes() / (1024 * 1024));
+
+  QueryServer server([&] {
+    QueryServer::Options server_options = QueryServer::OptionsFromEnv();
+    server_options.port = serve_port;
+    return server_options;
+  }());
+  if (serve_port >= 0) {
+    server.ServeTpch(&db);
+    const Status started = server.Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "query server failed to start: %s\n",
+                   std::string(started.message()).c_str());
+      return 2;
+    }
+    std::printf("query server: 127.0.0.1:%d (binary protocol, "
+                "docs/serving.md; cache %zu KB)\n",
+                server.port(), server.options().cache_bytes / 1024);
+  }
+
+  if (seconds < 0) {
+    // Serve-only mode: park the main thread while the server runs.
+    std::printf("serving until killed\n");
+    while (true) std::this_thread::sleep_for(std::chrono::seconds(1));
+  }
+
+  std::printf("running TPC-H workload for %.0f s\n", seconds);
   const auto deadline =
       std::chrono::steady_clock::now() +
       std::chrono::milliseconds(static_cast<int64_t>(seconds * 1000));
@@ -204,6 +241,7 @@ int RunServeLoop(double seconds) {
     }
   }
   std::printf("ran %llu queries\n", static_cast<unsigned long long>(runs));
+  server.Stop();
   return 0;
 }
 
@@ -213,9 +251,13 @@ int main(int argc, char** argv) {
   const char* trace_path = nullptr;
   bool mem_pressure = false;
   int metrics_port = -1;
+  int serve_port = -1;
   double serve_seconds = -1;
   if (const char* env = std::getenv("ADICT_METRICS_PORT")) {
     metrics_port = std::atoi(env);
+  }
+  if (const char* env = std::getenv("ADICT_SERVE_PORT")) {
+    serve_port = std::atoi(env);
   }
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
@@ -226,10 +268,12 @@ int main(int argc, char** argv) {
       metrics_port = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--serve") == 0 && i + 1 < argc) {
       serve_seconds = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--serve-port") == 0 && i + 1 < argc) {
+      serve_port = std::atoi(argv[++i]);
     } else {
       std::fprintf(stderr,
                    "usage: adaptive_store [--trace FILE] [--mem-pressure] "
-                   "[--metrics-port N] [--serve SECONDS]\n");
+                   "[--metrics-port N] [--serve SECONDS] [--serve-port N]\n");
       return 2;
     }
   }
@@ -252,7 +296,9 @@ int main(int argc, char** argv) {
                 exporter.port());
   }
 
-  if (serve_seconds >= 0) return RunServeLoop(serve_seconds);
+  if (serve_seconds >= 0 || serve_port >= 0) {
+    return RunServeLoop(serve_seconds, serve_port);
+  }
   if (mem_pressure) return RunMemPressureDemo();
   if (trace_path != nullptr) obs::SetTraceEnabled(true);
 

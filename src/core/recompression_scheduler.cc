@@ -82,6 +82,12 @@ void RecompressionScheduler::AttachSampler(
   sampler_->Start();
 }
 
+void RecompressionScheduler::SetPressureHook(
+    std::function<void(PressureLevel)> hook) {
+  MutexLock lock(&mutex_);
+  pressure_hook_ = std::move(hook);
+}
+
 PressureLevel RecompressionScheduler::level() const {
   MutexLock lock(&mutex_);
   return level_;
@@ -148,6 +154,17 @@ void RecompressionScheduler::OnSample(const StatusOr<MemorySample>& sample) {
 
   const TickPlan plan = PlanTick(*sample);
 
+  if (plan.level_changed) {
+    // Copy the hook out under the lock, invoke it outside: a hook that
+    // flushes a large result cache must not serialize against stats readers.
+    std::function<void(PressureLevel)> hook;
+    {
+      MutexLock lock(&mutex_);
+      hook = pressure_hook_;
+    }
+    if (hook) hook(plan.level);
+  }
+
   if (obs::Enabled()) {
     static obs::Gauge* used = obs::Metrics().GetGauge(
         "mem.used_bytes", "bytes", "last sampled memory usage");
@@ -198,7 +215,9 @@ RecompressionScheduler::TickPlan RecompressionScheduler::PlanTick(
           ? fraction
           : options_.smoothing * fraction +
                 (1.0 - options_.smoothing) * smoothed_used_fraction_;
+  const PressureLevel previous_level = level_;
   level_ = Classify(smoothed_used_fraction_, level_);
+  plan.level_changed = level_ != previous_level;
   stats_.level = level_;
   stats_.smoothed_used_fraction = smoothed_used_fraction_;
   plan.level = level_;

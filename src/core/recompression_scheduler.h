@@ -57,6 +57,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -169,6 +170,14 @@ class RecompressionScheduler {
   void Pause() { paused_.store(true, std::memory_order_release); }
   void Resume() { paused_.store(false, std::memory_order_release); }
 
+  /// Registers a hook invoked (outside the scheduler's mutex, on the
+  /// sampling thread) whenever a sample *changes* the pressure level. The
+  /// serving layer uses it to flush its result cache once pressure reaches
+  /// urgent — cached results are the cheapest bytes to give back. The hook
+  /// must be fast and must not call back into the scheduler.
+  void SetPressureHook(std::function<void(PressureLevel)> hook)
+      ADICT_EXCLUDES(mutex_);
+
   PressureLevel level() const ADICT_EXCLUDES(mutex_);
   Stats stats() const ADICT_EXCLUDES(mutex_);
   const Options& options() const { return options_; }
@@ -192,6 +201,7 @@ class RecompressionScheduler {
   struct TickPlan {
     std::vector<size_t> rebuild_columns;
     PressureLevel level = PressureLevel::kNone;
+    bool level_changed = false;  // this sample moved the tier
   };
 
   /// How one rebuild attempt ended, for stats and backoff accounting.
@@ -226,6 +236,7 @@ class RecompressionScheduler {
   PressureLevel level_ ADICT_GUARDED_BY(mutex_) = PressureLevel::kNone;
   int consecutive_stalls_ ADICT_GUARDED_BY(mutex_) = 0;
   int64_t backoff_until_tick_ ADICT_GUARDED_BY(mutex_) = -1;
+  std::function<void(PressureLevel)> pressure_hook_ ADICT_GUARDED_BY(mutex_);
 
   // Drain signalling on a bare std::mutex + cv (the annotated Mutex has no
   // cv API, and std::mutex cannot carry capability annotations):

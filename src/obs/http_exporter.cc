@@ -1,13 +1,8 @@
 #include "obs/http_exporter.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
-#include <cerrno>
-#include <cstring>
 #include <fstream>
 #include <string_view>
 #include <utility>
@@ -17,6 +12,7 @@
 #include "obs/obs.h"
 #include "obs/trace.h"
 #include "obs/workload_profiler.h"
+#include "util/net.h"
 #include "util/thread_pool.h"
 
 namespace adict {
@@ -186,16 +182,6 @@ HttpResponse HandleRequest(std::string_view method, std::string_view path,
   return response;
 }
 
-/// Sends the whole buffer, retrying short writes; best effort (a client
-/// that hung up mid-response is its own problem).
-void SendAll(int fd, std::string_view data) {
-  while (!data.empty()) {
-    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
-    if (n <= 0) return;
-    data.remove_prefix(static_cast<size_t>(n));
-  }
-}
-
 void SendResponse(int fd, const HttpResponse& response) {
   std::string head = "HTTP/1.1 " + std::to_string(response.status) + " " +
                      std::string(ReasonPhrase(response.status)) + "\r\n";
@@ -217,42 +203,15 @@ Status HttpExporter::Start() {
   if (running_.load(std::memory_order_acquire)) {
     return Status::FailedPrecondition("http exporter already running");
   }
-  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (fd < 0) {
-    return Status::IoError(std::string("socket: ") + std::strerror(errno));
-  }
-  const int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  ListenOptions listen_options;
+  listen_options.port = options_.port;
+  listen_options.bind_address = options_.bind_address;
+  listen_options.backlog = options_.backlog;
+  StatusOr<ListenSocket> socket = OpenListenSocket(listen_options);
+  if (!socket.ok()) return socket.status();
+  port_.store(socket->port, std::memory_order_release);
 
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
-  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
-      1) {
-    ::close(fd);
-    return Status::IoError("invalid bind address: " + options_.bind_address);
-  }
-  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    const Status status =
-        Status::IoError(std::string("bind: ") + std::strerror(errno));
-    ::close(fd);
-    return status;
-  }
-  if (::listen(fd, options_.backlog) != 0) {
-    const Status status =
-        Status::IoError(std::string("listen: ") + std::strerror(errno));
-    ::close(fd);
-    return status;
-  }
-  sockaddr_in bound{};
-  socklen_t bound_len = sizeof(bound);
-  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) ==
-      0) {
-    port_.store(ntohs(bound.sin_port), std::memory_order_release);
-  }
-
-  listen_fd_ = fd;
+  listen_fd_ = socket->fd;
   stop_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
@@ -277,12 +236,8 @@ void HttpExporter::Stop() {
 
 void HttpExporter::AcceptLoop() {
   while (!stop_.load(std::memory_order_acquire)) {
-    pollfd pfd{};
-    pfd.fd = listen_fd_;
-    pfd.events = POLLIN;
-    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
-    if (ready <= 0) continue;  // timeout or EINTR: re-check the stop flag
-    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    // Bounded wait so the stop flag is re-checked every slice.
+    const int client = AcceptWithTimeout(listen_fd_, /*timeout_ms=*/100);
     if (client < 0) continue;
     {
       std::lock_guard<std::mutex> lock(drain_mutex_);

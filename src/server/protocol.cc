@@ -1,0 +1,234 @@
+#include "server/protocol.h"
+
+#include <cstring>
+
+#include "util/serde.h"
+
+namespace adict {
+namespace {
+
+/// Appends the query portion of a request body (everything after the
+/// request id). This is both the wire encoding and the digest input, so the
+/// two can never drift.
+void WriteQueryPortion(const Request& request, ByteWriter* writer) {
+  writer->Write<uint8_t>(static_cast<uint8_t>(request.kind));
+  switch (request.kind) {
+    case QueryKind::kPing:
+      break;
+    case QueryKind::kCount:
+    case QueryKind::kSelect:
+      writer->WriteString(request.table);
+      writer->WriteString(request.column);
+      writer->Write<uint8_t>(static_cast<uint8_t>(request.op));
+      writer->WriteString(request.value);
+      if (request.op == PredicateOp::kBetween) {
+        writer->WriteString(request.value2);
+      }
+      if (request.kind == QueryKind::kSelect) {
+        writer->Write<uint64_t>(request.limit);
+      }
+      break;
+    case QueryKind::kExtract:
+      writer->WriteString(request.table);
+      writer->WriteString(request.column);
+      writer->Write<uint64_t>(request.row);
+      break;
+    case QueryKind::kLocate:
+      writer->WriteString(request.table);
+      writer->WriteString(request.column);
+      writer->WriteString(request.value);
+      break;
+    case QueryKind::kTableStats:
+      writer->WriteString(request.table);
+      break;
+    case QueryKind::kTpch:
+      writer->Write<uint32_t>(request.tpch_query);
+      break;
+  }
+}
+
+void WriteFramePrefix(std::vector<uint8_t>* frame) {
+  const uint32_t body_length =
+      static_cast<uint32_t>(frame->size() - sizeof(uint32_t));
+  std::memcpy(frame->data(), &body_length, sizeof(body_length));
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeRequest(const Request& request) {
+  std::vector<uint8_t> frame;
+  ByteWriter writer(&frame);
+  writer.Write<uint32_t>(0);  // placeholder length prefix
+  writer.Write<uint64_t>(request.request_id);
+  WriteQueryPortion(request, &writer);
+  WriteFramePrefix(&frame);
+  return frame;
+}
+
+uint64_t RequestDigest(const Request& request) {
+  std::vector<uint8_t> bytes;
+  ByteWriter writer(&bytes);
+  WriteQueryPortion(request, &writer);
+  return Fnv1a64(bytes.data(), bytes.size());
+}
+
+StatusOr<Request> DecodeRequestBody(std::span<const uint8_t> body) {
+  ByteReader reader(body.data(), body.size(), ByteReader::OnError::kRecord);
+  Request request;
+  request.request_id = reader.Read<uint64_t>();
+  const uint8_t kind_byte = reader.Read<uint8_t>();
+  if (!reader.ok()) {
+    return Status::Truncated("request body ends before the query kind");
+  }
+  if (kind_byte > kMaxQueryKind) {
+    return Status::Corruption("unknown query kind " +
+                              std::to_string(kind_byte));
+  }
+  request.kind = static_cast<QueryKind>(kind_byte);
+  switch (request.kind) {
+    case QueryKind::kPing:
+      break;
+    case QueryKind::kCount:
+    case QueryKind::kSelect: {
+      request.table = reader.ReadString();
+      request.column = reader.ReadString();
+      const uint8_t op_byte = reader.Read<uint8_t>();
+      if (reader.ok() && op_byte > kMaxPredicateOp) {
+        return Status::Corruption("unknown predicate op " +
+                                  std::to_string(op_byte));
+      }
+      request.op = static_cast<PredicateOp>(op_byte);
+      request.value = reader.ReadString();
+      if (request.op == PredicateOp::kBetween) {
+        request.value2 = reader.ReadString();
+      }
+      if (request.kind == QueryKind::kSelect) {
+        request.limit = reader.Read<uint64_t>();
+      }
+      break;
+    }
+    case QueryKind::kExtract:
+      request.table = reader.ReadString();
+      request.column = reader.ReadString();
+      request.row = reader.Read<uint64_t>();
+      break;
+    case QueryKind::kLocate:
+      request.table = reader.ReadString();
+      request.column = reader.ReadString();
+      request.value = reader.ReadString();
+      break;
+    case QueryKind::kTableStats:
+      request.table = reader.ReadString();
+      break;
+    case QueryKind::kTpch:
+      request.tpch_query = reader.Read<uint32_t>();
+      break;
+  }
+  if (!reader.ok()) {
+    return Status::Truncated("request body truncated");
+  }
+  if (!reader.exhausted()) {
+    return Status::Corruption("request body has trailing bytes");
+  }
+  return request;
+}
+
+std::vector<uint8_t> EncodeQueryResult(const QueryResult& result) {
+  std::vector<uint8_t> payload;
+  ByteWriter writer(&payload);
+  writer.Write<uint32_t>(static_cast<uint32_t>(result.column_names.size()));
+  for (const std::string& name : result.column_names) {
+    writer.WriteString(name);
+  }
+  writer.Write<uint64_t>(result.rows.size());
+  for (const std::vector<std::string>& row : result.rows) {
+    for (const std::string& cell : row) writer.WriteString(cell);
+  }
+  return payload;
+}
+
+std::vector<uint8_t> EncodeResponseFromPayload(
+    uint64_t request_id, bool cache_hit, std::span<const uint8_t> payload) {
+  std::vector<uint8_t> frame;
+  ByteWriter writer(&frame);
+  writer.Write<uint32_t>(0);  // placeholder length prefix
+  writer.Write<uint64_t>(request_id);
+  writer.Write<uint8_t>(static_cast<uint8_t>(StatusCode::kOk));
+  writer.Write<uint8_t>(cache_hit ? kResponseFlagCacheHit : 0);
+  writer.WriteBytes(payload.data(), payload.size());
+  WriteFramePrefix(&frame);
+  return frame;
+}
+
+std::vector<uint8_t> EncodeResponse(const Response& response) {
+  if (response.status == StatusCode::kOk) {
+    const std::vector<uint8_t> payload = EncodeQueryResult(response.result);
+    return EncodeResponseFromPayload(response.request_id, response.cache_hit,
+                                     payload);
+  }
+  std::vector<uint8_t> frame;
+  ByteWriter writer(&frame);
+  writer.Write<uint32_t>(0);  // placeholder length prefix
+  writer.Write<uint64_t>(response.request_id);
+  writer.Write<uint8_t>(static_cast<uint8_t>(response.status));
+  writer.Write<uint8_t>(0);
+  writer.WriteString(response.error_message);
+  WriteFramePrefix(&frame);
+  return frame;
+}
+
+StatusOr<Response> DecodeResponseBody(std::span<const uint8_t> body) {
+  ByteReader reader(body.data(), body.size(), ByteReader::OnError::kRecord);
+  Response response;
+  response.request_id = reader.Read<uint64_t>();
+  const uint8_t status_byte = reader.Read<uint8_t>();
+  const uint8_t flags = reader.Read<uint8_t>();
+  if (!reader.ok()) {
+    return Status::Truncated("response body ends before the status");
+  }
+  if (status_byte > static_cast<uint8_t>(StatusCode::kInternal)) {
+    return Status::Corruption("unknown status code " +
+                              std::to_string(status_byte));
+  }
+  response.status = static_cast<StatusCode>(status_byte);
+  response.cache_hit = (flags & kResponseFlagCacheHit) != 0;
+  if (response.status != StatusCode::kOk) {
+    response.error_message = reader.ReadString();
+  } else {
+    const uint32_t num_columns = reader.Read<uint32_t>();
+    // Every column name costs at least its u64 length prefix, so a lying
+    // column count cannot provoke a huge reserve.
+    if (!reader.ok() ||
+        num_columns > reader.remaining() / sizeof(uint64_t)) {
+      return Status::Truncated("response column names truncated");
+    }
+    response.result.column_names.reserve(num_columns);
+    for (uint32_t i = 0; i < num_columns; ++i) {
+      response.result.column_names.push_back(reader.ReadString());
+    }
+    const uint64_t num_rows = reader.Read<uint64_t>();
+    if (!reader.ok() ||
+        num_rows > reader.remaining() /
+                       (num_columns == 0 ? 1 : num_columns * sizeof(uint64_t))) {
+      return Status::Truncated("response rows truncated");
+    }
+    response.result.rows.reserve(num_rows);
+    for (uint64_t r = 0; r < num_rows && reader.ok(); ++r) {
+      std::vector<std::string> row;
+      row.reserve(num_columns);
+      for (uint32_t c = 0; c < num_columns; ++c) {
+        row.push_back(reader.ReadString());
+      }
+      response.result.rows.push_back(std::move(row));
+    }
+  }
+  if (!reader.ok()) {
+    return Status::Truncated("response body truncated");
+  }
+  if (!reader.exhausted()) {
+    return Status::Corruption("response body has trailing bytes");
+  }
+  return response;
+}
+
+}  // namespace adict

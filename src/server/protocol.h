@@ -1,0 +1,137 @@
+// Wire protocol of the binary query server: length-prefixed frames, a
+// Status-based decoder, and the FNV-1a query digest the result cache keys
+// on.
+//
+// Frame layout (all integers little-endian, docs/serving.md#frame-layout):
+//
+//   uint32 body_length                  <= kMaxFrameBytes
+//   body:
+//     uint64 request_id                 echoed verbatim in the response
+//     uint8  query_kind                 QueryKind below
+//     params                            kind-specific, see EncodeRequest
+//
+// Responses mirror the shape:
+//
+//   uint32 body_length
+//   body:
+//     uint64 request_id
+//     uint8  status_code                StatusCode; 0 = OK
+//     uint8  flags                      bit 0: served from the result cache
+//     if status != OK: string error_message
+//     else:            serialized QueryResult (column names + rows)
+//
+// Strings use the u64-length-prefix convention of util/serde.h so the
+// decoder is the hardened ByteReader in kRecord mode: a lying length
+// prefix, a truncated body, or a flipped byte marks the reader failed and
+// surfaces as a Status — never a crash or an over-read
+// (tests/protocol_fuzz_test.cc).
+#ifndef ADICT_SERVER_PROTOCOL_H_
+#define ADICT_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "engine/result.h"
+#include "util/status.h"
+
+namespace adict {
+
+/// Frames whose length prefix exceeds this are rejected before any
+/// allocation — a four-byte lie must not provoke a 4 GiB resize.
+inline constexpr uint32_t kMaxFrameBytes = 1u << 20;
+
+/// What a request asks the server to run (docs/serving.md#query-kinds).
+enum class QueryKind : uint8_t {
+  kPing = 0,        ///< liveness + build version; no params
+  kCount = 1,       ///< predicate count: table, column, predicate
+  kSelect = 2,      ///< predicate select: table, column, predicate, limit
+  kExtract = 3,     ///< one row's value: table, column, row
+  kLocate = 4,      ///< dictionary locate: table, column, value
+  kTableStats = 5,  ///< row/column/byte counts: table
+  kTpch = 6,        ///< full TPC-H query 1..22: tpch_query
+};
+inline constexpr uint8_t kMaxQueryKind = 6;
+
+/// Predicate operator for kCount / kSelect.
+enum class PredicateOp : uint8_t {
+  kEq = 0,       ///< column = value
+  kPrefix = 1,   ///< column LIKE 'value%'
+  kBetween = 2,  ///< value <= column <= value2
+  kContains = 3, ///< column LIKE '%value%' (full dictionary scan)
+};
+inline constexpr uint8_t kMaxPredicateOp = 3;
+
+/// A decoded request. Fields beyond what the kind uses stay defaulted and
+/// are not encoded on the wire.
+struct Request {
+  uint64_t request_id = 0;
+  QueryKind kind = QueryKind::kPing;
+  std::string table;
+  std::string column;
+  PredicateOp op = PredicateOp::kEq;
+  std::string value;
+  std::string value2;   // kBetween upper bound
+  uint64_t row = 0;     // kExtract
+  uint64_t limit = 0;   // kSelect; 0 = count only
+  uint32_t tpch_query = 0;  // kTpch, 1..22
+};
+
+/// Response flag bits.
+inline constexpr uint8_t kResponseFlagCacheHit = 1u << 0;
+
+struct Response {
+  uint64_t request_id = 0;
+  StatusCode status = StatusCode::kOk;
+  bool cache_hit = false;
+  std::string error_message;  // non-OK only
+  QueryResult result;         // OK only
+};
+
+/// 64-bit FNV-1a, the result cache's query digest (keyed like proxysql's
+/// `umap_query_digest`: digest -> cached result).
+inline uint64_t Fnv1a64(const void* data, size_t size) {
+  const auto* bytes = static_cast<const uint8_t*>(data);
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+/// Encodes a full request frame (length prefix + body).
+std::vector<uint8_t> EncodeRequest(const Request& request);
+
+/// Decodes a request frame body (the bytes after the length prefix).
+/// Returns a Status on any structural problem: truncation, trailing
+/// garbage, unknown query kind or predicate op.
+StatusOr<Request> DecodeRequestBody(std::span<const uint8_t> body);
+
+/// Digest over the body's query portion — everything after the request id —
+/// so retries and distinct clients issuing the identical query share one
+/// cache entry while their request ids differ.
+uint64_t RequestDigest(const Request& request);
+
+/// Encodes a full response frame (length prefix + body). For OK responses
+/// the result payload may be pre-serialized (cache path); use
+/// EncodeQueryResult + EncodeResponsePayload for that split.
+std::vector<uint8_t> EncodeResponse(const Response& response);
+
+/// Serializes just the QueryResult payload — the unit the result cache
+/// stores, independent of request id and flags.
+std::vector<uint8_t> EncodeQueryResult(const QueryResult& result);
+
+/// Wraps an already-serialized OK payload in a response frame with this
+/// request's id and flags (the cache-hit path: no re-serialization).
+std::vector<uint8_t> EncodeResponseFromPayload(
+    uint64_t request_id, bool cache_hit, std::span<const uint8_t> payload);
+
+/// Decodes a response frame body. Tolerates nothing: same hardening as
+/// DecodeRequestBody.
+StatusOr<Response> DecodeResponseBody(std::span<const uint8_t> body);
+
+}  // namespace adict
+
+#endif  // ADICT_SERVER_PROTOCOL_H_

@@ -1,0 +1,180 @@
+// Long-lived TCP query server: the network serving front-end of the store.
+//
+// Speaks the length-prefixed binary protocol of server/protocol.h. One
+// dedicated thread accepts (util/net.h, bounded backlog); each accepted
+// connection gets its own handler thread that decodes frames and executes
+// requests against pinned column snapshots (Table::SnapshotStrings), so
+// serving never blocks a delta merge and a merge never blocks serving. The
+// heavy lifting inside a request — predicate scans, TPC-H plans — fans out
+// onto the shared ThreadPool through the engine's morsel-parallel drivers
+// (engine/parallel.h); connection threads are deliberately *not* pool
+// lanes, because a persistent connection would pin a lane and request
+// execution itself needs the pool (nested ParallelFor from a lane is
+// outside the pool's contract).
+//
+// In front of execution sits the epoch-invalidated ResultCache
+// (server/result_cache.h): a request's FNV-1a digest is looked up first,
+// and a hit returns the cached serialized result without touching the
+// engine. Executions record the (column, epoch) set they read; any publish
+// invalidates dependent entries, so a cached result is never served across
+// an epoch boundary.
+//
+// Admission control, all with clean RESOURCE_EXHAUSTED (429-style)
+// rejections rather than dropped connections mid-frame:
+//   - listen backlog caps the kernel-side accept queue,
+//   - max_connections caps handler threads (excess connections get one
+//     rejection response, then close),
+//   - max_inflight caps concurrently executing queries,
+//   - max_requests_per_connection caps how long one client can hold a
+//     handler thread.
+//
+// Observability: server.* metrics (docs/serving.md#metrics), a span per
+// request, and per-query attribution via obs::ScopedQueryProfile so
+// /profile.json shows network traffic next to in-process drivers.
+#ifndef ADICT_SERVER_QUERY_SERVER_H_
+#define ADICT_SERVER_QUERY_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "server/protocol.h"
+#include "server/result_cache.h"
+#include "util/status.h"
+
+namespace adict {
+
+class Table;
+struct TpchDatabase;
+class RecompressionScheduler;
+
+class QueryServer {
+ public:
+  struct Options {
+    /// TCP port; 0 picks an ephemeral port (read it back with port()).
+    int port = 0;
+    /// Bind address; loopback by default (see util/net.h).
+    std::string bind_address = "127.0.0.1";
+    /// Kernel accept backlog (admission control, outermost ring).
+    int backlog = 64;
+    /// Handler threads; excess connections are rejected with one
+    /// RESOURCE_EXHAUSTED response.
+    int max_connections = 64;
+    /// Queries executing concurrently; excess requests are rejected with
+    /// RESOURCE_EXHAUSTED instead of queueing unboundedly.
+    int max_inflight = 32;
+    /// Requests one connection may issue before being rejected + closed;
+    /// 0 means unlimited.
+    uint64_t max_requests_per_connection = 0;
+    /// Result cache budget in bytes; 0 disables caching.
+    size_t cache_bytes = 8u << 20;
+    /// Test hook: holds each execution inside its in-flight slot for this
+    /// long, so admission and drain tests are deterministic.
+    uint64_t execute_stall_ms = 0;
+  };
+
+  /// Options with the environment knobs applied: ADICT_SERVE_PORT,
+  /// ADICT_SERVE_MAX_INFLIGHT, ADICT_CACHE_BYTES (docs/serving.md#knobs).
+  static Options OptionsFromEnv();
+
+  /// Monotonic counters, readable any time (tests assert on these even
+  /// with obs disabled).
+  struct Stats {
+    uint64_t connections = 0;           ///< accepted and served
+    uint64_t rejected_connections = 0;  ///< over max_connections
+    uint64_t requests = 0;              ///< well-formed frames decoded
+    uint64_t executed = 0;              ///< requests that ran the engine
+    uint64_t rejected_requests = 0;     ///< admission-control rejections
+    uint64_t error_responses = 0;       ///< non-OK responses sent
+    uint64_t frame_errors = 0;          ///< malformed/oversized/truncated
+  };
+
+  explicit QueryServer(Options options);
+  QueryServer() : QueryServer(Options()) {}
+  /// Stops the server if still running.
+  ~QueryServer();
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// Exposes a table to kCount/kSelect/kExtract/kLocate/kTableStats
+  /// requests under its own name. The table must outlive the server.
+  /// Register before Start().
+  void RegisterTable(Table* table);
+
+  /// Registers all eight TPC-H tables and enables kTpch requests against
+  /// `db`. The database must outlive the server. Register before Start().
+  void ServeTpch(const TpchDatabase* db);
+
+  /// Binds, listens, starts the accept thread. Fails (never aborts) on
+  /// socket errors — a busy port must not take the store down.
+  Status Start();
+
+  /// Stops accepting, wakes every connection handler, drains in-flight
+  /// requests (a request being executed finishes and its response is sent),
+  /// joins all threads. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// The bound port (resolved after Start() when Options::port was 0).
+  int port() const { return port_.load(std::memory_order_acquire); }
+
+  Stats stats() const;
+  ResultCache& cache() { return cache_; }
+  const Options& options() const { return options_; }
+
+  /// Wires the scheduler's pressure hook to flush the result cache when
+  /// pressure reaches urgent (docs/serving.md#memory-pressure). The server
+  /// must outlive the scheduler's sample stream.
+  void AttachPressureFlush(RecompressionScheduler* scheduler);
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+  /// Decodes and answers one frame; returns false when the connection is
+  /// done (clean close, frame error, or request cap).
+  bool HandleFrame(int fd, uint64_t* requests_served);
+  Response Execute(const Request& request,
+                   std::vector<CacheDependency>* deps);
+  Response ExecuteTableQuery(const Request& request,
+                             std::vector<CacheDependency>* deps);
+
+  const Options options_;
+  ResultCache cache_;
+  std::unordered_map<std::string, Table*> tables_;
+  const TpchDatabase* tpch_db_ = nullptr;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<int> port_{0};
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+
+  std::atomic<int> inflight_{0};
+
+  // Counters behind stats(); relaxed — they only feed assertions and
+  // metrics, never control flow across threads.
+  std::atomic<uint64_t> connections_{0};
+  std::atomic<uint64_t> rejected_connections_{0};
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> executed_{0};
+  std::atomic<uint64_t> rejected_requests_{0};
+  std::atomic<uint64_t> error_responses_{0};
+  std::atomic<uint64_t> frame_errors_{0};
+
+  // Connection-handler drain (same discipline as the HTTP exporter):
+  // handler threads are detached, the count is only touched under
+  // drain_mutex_, and Stop() waits for it to reach zero after setting the
+  // stop flag (which every handler's RecvExact polls).
+  std::mutex drain_mutex_;
+  std::condition_variable drain_cv_;
+  int active_connections_ = 0;
+};
+
+}  // namespace adict
+
+#endif  // ADICT_SERVER_QUERY_SERVER_H_

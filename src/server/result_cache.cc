@@ -1,0 +1,130 @@
+#include "server/result_cache.h"
+
+#include <utility>
+
+#include "obs/obs.h"
+#include "store/string_column.h"
+
+namespace adict {
+namespace {
+
+/// Fixed bookkeeping charged per entry on top of the payload, so a flood of
+/// tiny results still respects the byte budget.
+constexpr size_t kEntryOverheadBytes = 64;
+
+void CountCacheEvent(const char* name, const char* help, uint64_t n = 1) {
+  if (!obs::Enabled() || n == 0) return;
+  obs::Metrics().GetCounter(name, "events", help)->Increment(n);
+}
+
+}  // namespace
+
+ResultCache::ResultCache(Options options) : options_(options) {}
+
+size_t ResultCache::EntryCost(const Entry& entry) {
+  return entry.payload.size() +
+         entry.deps.size() * sizeof(CacheDependency) + kEntryOverheadBytes;
+}
+
+bool ResultCache::Fresh(const Entry& entry) {
+  for (const CacheDependency& dep : entry.deps) {
+    if (dep.column->epoch() != dep.epoch) return false;
+  }
+  return true;
+}
+
+void ResultCache::EraseLocked(std::list<Entry>::iterator it) {
+  bytes_ -= it->cost;
+  index_.erase(it->digest);
+  lru_.erase(it);
+}
+
+void ResultCache::PublishOccupancyMetrics() {
+  if (!obs::Enabled()) return;
+  static obs::Gauge* bytes = obs::Metrics().GetGauge(
+      "server.cache.bytes", "bytes", "result cache occupancy in bytes");
+  static obs::Gauge* entries = obs::Metrics().GetGauge(
+      "server.cache.entries", "entries", "result cache entry count");
+  bytes->Set(static_cast<double>(bytes_));
+  entries->Set(static_cast<double>(lru_.size()));
+}
+
+std::optional<std::vector<uint8_t>> ResultCache::Lookup(uint64_t digest) {
+  MutexLock lock(&mutex_);
+  const auto it = index_.find(digest);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    CountCacheEvent("server.cache.miss", "result cache misses");
+    return std::nullopt;
+  }
+  if (!Fresh(*it->second)) {
+    // A dependency's column was republished since this result was computed
+    // (delta merge or format change): the entry is stale, drop it. This is
+    // the invalidation-on-epoch-advance guarantee.
+    EraseLocked(it->second);
+    ++stats_.stale_evictions;
+    ++stats_.misses;
+    CountCacheEvent("server.cache.evict.stale",
+                    "result cache entries dropped on epoch mismatch");
+    CountCacheEvent("server.cache.miss", "result cache misses");
+    PublishOccupancyMetrics();
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  ++stats_.hits;
+  CountCacheEvent("server.cache.hit", "result cache hits");
+  return it->second->payload;
+}
+
+void ResultCache::Insert(uint64_t digest, std::vector<uint8_t> payload,
+                         std::vector<CacheDependency> deps) {
+  if (!enabled()) return;
+  Entry entry;
+  entry.digest = digest;
+  entry.payload = std::move(payload);
+  entry.deps = std::move(deps);
+  entry.cost = EntryCost(entry);
+  if (entry.cost > options_.max_bytes) return;  // would never fit
+
+  MutexLock lock(&mutex_);
+  const auto it = index_.find(digest);
+  if (it != index_.end()) EraseLocked(it->second);
+  uint64_t evicted = 0;
+  while (!lru_.empty() && bytes_ + entry.cost > options_.max_bytes) {
+    EraseLocked(std::prev(lru_.end()));
+    ++stats_.lru_evictions;
+    ++evicted;
+  }
+  bytes_ += entry.cost;
+  lru_.push_front(std::move(entry));
+  index_[digest] = lru_.begin();
+  ++stats_.inserts;
+  CountCacheEvent("server.cache.evict.lru",
+                  "result cache entries evicted to fit the byte budget",
+                  evicted);
+  CountCacheEvent("server.cache.insert", "result cache insertions");
+  PublishOccupancyMetrics();
+}
+
+void ResultCache::Flush() {
+  MutexLock lock(&mutex_);
+  const uint64_t dropped = lru_.size();
+  stats_.flushes += dropped;
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+  CountCacheEvent("server.cache.flush",
+                  "result cache entries dropped by pressure flushes",
+                  dropped);
+  PublishOccupancyMetrics();
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  MutexLock lock(&mutex_);
+  Stats stats = stats_;
+  stats.bytes = bytes_;
+  stats.entries = lru_.size();
+  return stats;
+}
+
+}  // namespace adict

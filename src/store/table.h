@@ -74,6 +74,17 @@ class Table {
     return string_columns_[IndexOf(string_index_, name)]->Snapshot();
   }
 
+  /// The versioned holder of a string column: snapshot + epoch access by
+  /// name. The serving layer's result cache records (column, epoch) pairs
+  /// through this to invalidate cached results on any publish.
+  const VersionedStringColumn& versioned_strings(
+      const std::string& name) const {
+    return *string_columns_[IndexOf(string_index_, name)];
+  }
+  VersionedStringColumn& versioned_strings(const std::string& name) {
+    return *string_columns_[IndexOf(string_index_, name)];
+  }
+
   /// Publishes the next version of a string column (the writer-side commit
   /// of a delta merge or format change). Readers holding snapshots keep
   /// their old version; new snapshots see `next`.

@@ -1,0 +1,292 @@
+// Deterministic seeded fuzzing of the wire-protocol decoders. The decoders
+// guard the server's front door: every byte here arrives from an untrusted
+// socket, so DecodeRequestBody / DecodeResponseBody must return a Status —
+// never crash, never over-read, never allocate proportionally to a lying
+// length field. The corpus is built from valid frames for every query kind,
+// then mutated: single-byte flips at every position, truncation at every
+// prefix length, and random multi-byte garbage. Seeds are fixed, so a
+// failure reproduces exactly.
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "server/protocol.h"
+#include "util/rng.h"
+
+namespace adict {
+namespace {
+
+/// Valid request frames covering every kind and every predicate op.
+std::vector<std::vector<uint8_t>> RequestCorpus() {
+  std::vector<Request> requests;
+  {
+    Request r;
+    r.request_id = 1;
+    r.kind = QueryKind::kPing;
+    requests.push_back(r);
+  }
+  for (const PredicateOp op :
+       {PredicateOp::kEq, PredicateOp::kPrefix, PredicateOp::kBetween,
+        PredicateOp::kContains}) {
+    Request r;
+    r.request_id = 2;
+    r.kind = QueryKind::kCount;
+    r.table = "lineitem";
+    r.column = "l_returnflag";
+    r.op = op;
+    r.value = "A";
+    r.value2 = "R";
+    requests.push_back(r);
+    r.kind = QueryKind::kSelect;
+    r.limit = 100;
+    requests.push_back(r);
+  }
+  {
+    Request r;
+    r.request_id = 3;
+    r.kind = QueryKind::kExtract;
+    r.table = "orders";
+    r.column = "o_orderpriority";
+    r.row = 123456;
+    requests.push_back(r);
+  }
+  {
+    Request r;
+    r.request_id = 4;
+    r.kind = QueryKind::kLocate;
+    r.table = "part";
+    r.column = "p_brand";
+    r.value = "Brand#13";
+    requests.push_back(r);
+  }
+  {
+    Request r;
+    r.request_id = 5;
+    r.kind = QueryKind::kTableStats;
+    r.table = "customer";
+    requests.push_back(r);
+  }
+  {
+    Request r;
+    r.request_id = 6;
+    r.kind = QueryKind::kTpch;
+    r.tpch_query = 17;
+    requests.push_back(r);
+  }
+
+  std::vector<std::vector<uint8_t>> corpus;
+  for (const Request& request : requests) {
+    std::vector<uint8_t> frame = EncodeRequest(request);
+    // Strip the length prefix: the decoder sees only the body (the server
+    // validates the prefix separately against kMaxFrameBytes).
+    corpus.emplace_back(frame.begin() + sizeof(uint32_t), frame.end());
+  }
+  return corpus;
+}
+
+/// Valid response frames: OK with rows, OK empty, and an error.
+std::vector<std::vector<uint8_t>> ResponseCorpus() {
+  std::vector<Response> responses;
+  {
+    Response r;
+    r.request_id = 10;
+    r.result.column_names = {"l_returnflag", "count", "sum"};
+    r.result.AddRow({"A", "14876", "3.77e7"});
+    r.result.AddRow({"N", "303", "7.6e5"});
+    r.result.AddRow({"R", "14902", "3.78e7"});
+    responses.push_back(r);
+  }
+  {
+    Response r;
+    r.request_id = 11;
+    r.cache_hit = true;
+    r.result.column_names = {"count"};
+    r.result.AddRow({"0"});
+    responses.push_back(r);
+  }
+  {
+    Response r;
+    r.request_id = 12;
+    r.status = StatusCode::kFailedPrecondition;
+    r.error_message = "unknown table: widgets";
+    responses.push_back(r);
+  }
+
+  std::vector<std::vector<uint8_t>> corpus;
+  for (const Response& response : responses) {
+    std::vector<uint8_t> frame = EncodeResponse(response);
+    corpus.emplace_back(frame.begin() + sizeof(uint32_t), frame.end());
+  }
+  return corpus;
+}
+
+/// Decoding must either succeed or fail with a Status — this call crashing
+/// or sanitizer-tripping is the bug. The return value communicates whether
+/// the mutant still decoded (callers use it for sanity counts).
+bool DecodeRequestSurvives(std::span<const uint8_t> body) {
+  const StatusOr<Request> decoded = DecodeRequestBody(body);
+  return decoded.ok();
+}
+
+bool DecodeResponseSurvives(std::span<const uint8_t> body) {
+  const StatusOr<Response> decoded = DecodeResponseBody(body);
+  return decoded.ok();
+}
+
+TEST(ProtocolFuzzTest, RequestSingleByteFlipsNeverCrash) {
+  for (const std::vector<uint8_t>& base : RequestCorpus()) {
+    for (size_t pos = 0; pos < base.size(); ++pos) {
+      for (const uint8_t flip :
+           {uint8_t{0x01}, uint8_t{0x80}, uint8_t{0xff}}) {
+        std::vector<uint8_t> mutant = base;
+        mutant[pos] ^= flip;
+        DecodeRequestSurvives(mutant);
+      }
+    }
+  }
+}
+
+TEST(ProtocolFuzzTest, RequestTruncationAtEveryLengthFails) {
+  for (const std::vector<uint8_t>& base : RequestCorpus()) {
+    ASSERT_TRUE(DecodeRequestSurvives(base));
+    for (size_t length = 0; length < base.size(); ++length) {
+      // Every strict prefix is missing bytes; the decoder must report
+      // truncation (or corruption), never succeed or over-read.
+      const StatusOr<Request> decoded = DecodeRequestBody(
+          std::span<const uint8_t>(base.data(), length));
+      EXPECT_FALSE(decoded.ok())
+          << "truncated request decoded at length " << length;
+    }
+  }
+}
+
+TEST(ProtocolFuzzTest, RequestTrailingGarbageIsCorruption) {
+  for (const std::vector<uint8_t>& base : RequestCorpus()) {
+    std::vector<uint8_t> padded = base;
+    padded.push_back(0x00);
+    const StatusOr<Request> decoded = DecodeRequestBody(padded);
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+  }
+}
+
+TEST(ProtocolFuzzTest, RequestLyingStringLengthsAreRejected) {
+  // The first string length field sits right after request id + kind for
+  // table-addressed kinds. Overwrite it with huge values: the decoder must
+  // fail cleanly instead of allocating or reading out of bounds.
+  Request request;
+  request.request_id = 7;
+  request.kind = QueryKind::kCount;
+  request.table = "lineitem";
+  request.column = "l_shipmode";
+  request.op = PredicateOp::kEq;
+  request.value = "TRUCK";
+  std::vector<uint8_t> frame = EncodeRequest(request);
+  std::vector<uint8_t> body(frame.begin() + sizeof(uint32_t), frame.end());
+  const size_t table_length_offset = sizeof(uint64_t) + 1;
+  for (const uint64_t lie :
+       {uint64_t{1} << 20, uint64_t{1} << 40, ~uint64_t{0}}) {
+    std::vector<uint8_t> mutant = body;
+    std::memcpy(mutant.data() + table_length_offset, &lie, sizeof(lie));
+    const StatusOr<Request> decoded = DecodeRequestBody(mutant);
+    EXPECT_FALSE(decoded.ok());
+  }
+}
+
+TEST(ProtocolFuzzTest, RequestRandomGarbageNeverCrashes) {
+  Rng rng(0xf00dcafe);
+  for (int iteration = 0; iteration < 2000; ++iteration) {
+    const size_t size = rng.Uniform(128);
+    std::vector<uint8_t> garbage(size);
+    for (uint8_t& byte : garbage) {
+      byte = static_cast<uint8_t>(rng.Uniform(256));
+    }
+    DecodeRequestSurvives(garbage);
+  }
+}
+
+TEST(ProtocolFuzzTest, RequestSeededMultiByteMutationsNeverCrash) {
+  const std::vector<std::vector<uint8_t>> corpus = RequestCorpus();
+  Rng rng(0xdecade);
+  for (int iteration = 0; iteration < 3000; ++iteration) {
+    std::vector<uint8_t> mutant =
+        corpus[rng.Uniform(static_cast<uint32_t>(corpus.size()))];
+    const size_t mutations = 1 + rng.Uniform(8);
+    for (size_t m = 0; m < mutations && !mutant.empty(); ++m) {
+      mutant[rng.Uniform(static_cast<uint32_t>(mutant.size()))] =
+          static_cast<uint8_t>(rng.Uniform(256));
+    }
+    // Occasionally also truncate or extend.
+    if (rng.Uniform(4) == 0 && !mutant.empty()) {
+      mutant.resize(rng.Uniform(static_cast<uint32_t>(mutant.size())));
+    } else if (rng.Uniform(4) == 0) {
+      mutant.push_back(static_cast<uint8_t>(rng.Uniform(256)));
+    }
+    DecodeRequestSurvives(mutant);
+  }
+}
+
+TEST(ProtocolFuzzTest, ResponseSingleByteFlipsNeverCrash) {
+  for (const std::vector<uint8_t>& base : ResponseCorpus()) {
+    for (size_t pos = 0; pos < base.size(); ++pos) {
+      std::vector<uint8_t> mutant = base;
+      mutant[pos] ^= 0xff;
+      DecodeResponseSurvives(mutant);
+    }
+  }
+}
+
+TEST(ProtocolFuzzTest, ResponseTruncationAtEveryLengthFails) {
+  for (const std::vector<uint8_t>& base : ResponseCorpus()) {
+    ASSERT_TRUE(DecodeResponseSurvives(base));
+    for (size_t length = 0; length < base.size(); ++length) {
+      const StatusOr<Response> decoded = DecodeResponseBody(
+          std::span<const uint8_t>(base.data(), length));
+      EXPECT_FALSE(decoded.ok())
+          << "truncated response decoded at length " << length;
+    }
+  }
+}
+
+TEST(ProtocolFuzzTest, ResponseLyingRowCountIsRejectedWithoutAllocation) {
+  // A response claiming 2^60 rows in a 100-byte body must fail fast on the
+  // reserve-bomb guard, not attempt the allocation.
+  Response response;
+  response.request_id = 13;
+  response.result.column_names = {"count"};
+  response.result.AddRow({"1"});
+  std::vector<uint8_t> frame = EncodeResponse(response);
+  std::vector<uint8_t> body(frame.begin() + sizeof(uint32_t), frame.end());
+  // num_rows (u64) follows request id (u64), status (u8), flags (u8),
+  // num_columns (u32) and the one column name (u64 length + bytes).
+  const size_t num_rows_offset = sizeof(uint64_t) + 1 + 1 + sizeof(uint32_t) +
+                                 sizeof(uint64_t) + std::strlen("count");
+  const uint64_t lie = uint64_t{1} << 60;
+  std::memcpy(body.data() + num_rows_offset, &lie, sizeof(lie));
+  const StatusOr<Response> decoded = DecodeResponseBody(body);
+  EXPECT_FALSE(decoded.ok());
+}
+
+TEST(ProtocolFuzzTest, ResponseRandomGarbageNeverCrashes) {
+  Rng rng(0xbadf00d);
+  for (int iteration = 0; iteration < 2000; ++iteration) {
+    const size_t size = rng.Uniform(160);
+    std::vector<uint8_t> garbage(size);
+    for (uint8_t& byte : garbage) {
+      byte = static_cast<uint8_t>(rng.Uniform(256));
+    }
+    DecodeResponseSurvives(garbage);
+  }
+}
+
+TEST(ProtocolFuzzTest, EmptyBodiesFailCleanly) {
+  EXPECT_FALSE(DecodeRequestSurvives({}));
+  EXPECT_FALSE(DecodeResponseSurvives({}));
+}
+
+}  // namespace
+}  // namespace adict
