@@ -64,7 +64,7 @@ class TradeoffController {
 
  private:
   Options options_;
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{LockRank::kController, "TradeoffController.mutex_"};
   double c_ ADICT_GUARDED_BY(mutex_);
   double smoothed_free_fraction_ ADICT_GUARDED_BY(mutex_) =
       -1.0;  // -1: no measurement yet

@@ -67,8 +67,11 @@ void RecompressionScheduler::Stop() {
 }
 
 void RecompressionScheduler::DrainForTest() {
-  std::unique_lock<std::mutex> lock(drain_mutex_);
-  drain_cv_.wait(lock, [this] { return pending_rebuilds_ == 0; });
+  MutexLock lock(&drain_mutex_);
+  drain_mutex_.Await([this]() ADICT_CV_PREDICATE {
+    // pending_rebuilds_ is guarded by drain_mutex_, held via Await.
+    return pending_rebuilds_ == 0;
+  });
 }
 
 void RecompressionScheduler::AttachSampler(
@@ -203,49 +206,88 @@ void RecompressionScheduler::OnSample(const StatusOr<MemorySample>& sample) {
 
 RecompressionScheduler::TickPlan RecompressionScheduler::PlanTick(
     const MemorySample& sample) {
+  // Three phases around the lock hierarchy: the scheduler's state lock sits
+  // in the core stratum, *below* obs, so the heat reads, metric
+  // registrations, and profiler ranking in the middle must run unlocked.
+  // Phase 1 (locked): advance the tick, classify pressure, collect eligible
+  // candidates. Phase 2 (unlocked): snapshot the candidates' columns, read
+  // their decayed heat, score, sort, publish the ranking. Phase 3 (locked):
+  // commit the top-ranked candidates that are still eligible.
   TickPlan plan;
-  MutexLock lock(&mutex_);
-  ++tick_;
-  ++stats_.ticks;
-
-  const double fraction =
-      std::clamp(sample.used_fraction(), 0.0, 1.0);
-  smoothed_used_fraction_ =
-      smoothed_used_fraction_ < 0
-          ? fraction
-          : options_.smoothing * fraction +
-                (1.0 - options_.smoothing) * smoothed_used_fraction_;
-  const PressureLevel previous_level = level_;
-  level_ = Classify(smoothed_used_fraction_, level_);
-  plan.level_changed = level_ != previous_level;
-  stats_.level = level_;
-  stats_.smoothed_used_fraction = smoothed_used_fraction_;
-  plan.level = level_;
-
-  if (paused_.load(std::memory_order_acquire) ||
-      stop_.load(std::memory_order_acquire)) {
-    return plan;
-  }
-  if (backoff_until_tick_ >= tick_) return plan;
-
+  struct Candidate {
+    size_t index;
+    std::string name;
+    double staleness;
+  };
+  std::vector<Candidate> candidates;
   size_t budget = 0;
-  switch (level_) {
-    case PressureLevel::kNone:
-      break;
-    case PressureLevel::kAdvisory: {
-      const uint64_t period = std::max<uint64_t>(options_.advisory_period_ticks, 1);
-      if (static_cast<uint64_t>(tick_) % period == 0) budget = 1;
-      break;
+  uint64_t newly_skipped = 0;
+  {
+    MutexLock lock(&mutex_);
+    ++tick_;
+    ++stats_.ticks;
+
+    const double fraction = std::clamp(sample.used_fraction(), 0.0, 1.0);
+    smoothed_used_fraction_ =
+        smoothed_used_fraction_ < 0
+            ? fraction
+            : options_.smoothing * fraction +
+                  (1.0 - options_.smoothing) * smoothed_used_fraction_;
+    const PressureLevel previous_level = level_;
+    level_ = Classify(smoothed_used_fraction_, level_);
+    plan.level_changed = level_ != previous_level;
+    stats_.level = level_;
+    stats_.smoothed_used_fraction = smoothed_used_fraction_;
+    plan.level = level_;
+
+    if (paused_.load(std::memory_order_acquire) ||
+        stop_.load(std::memory_order_acquire)) {
+      return plan;
     }
-    case PressureLevel::kUrgent:
-      budget = static_cast<size_t>(std::max(options_.max_rebuilds_per_tick, 0));
-      break;
-    case PressureLevel::kCritical:
-      budget = static_cast<size_t>(
-          std::max(options_.critical_max_rebuilds_per_tick, 0));
-      break;
+    if (backoff_until_tick_ >= tick_) return plan;
+
+    switch (level_) {
+      case PressureLevel::kNone:
+        break;
+      case PressureLevel::kAdvisory: {
+        const uint64_t period =
+            std::max<uint64_t>(options_.advisory_period_ticks, 1);
+        if (static_cast<uint64_t>(tick_) % period == 0) budget = 1;
+        break;
+      }
+      case PressureLevel::kUrgent:
+        budget =
+            static_cast<size_t>(std::max(options_.max_rebuilds_per_tick, 0));
+        break;
+      case PressureLevel::kCritical:
+        budget = static_cast<size_t>(
+            std::max(options_.critical_max_rebuilds_per_tick, 0));
+        break;
+    }
+    if (budget == 0) return plan;
+
+    candidates.reserve(columns_.size());
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      if (columns_[i].in_flight) continue;
+      const int64_t since = tick_ - columns_[i].last_rebuild_tick;
+      if (since < static_cast<int64_t>(options_.cooldown_ticks)) {
+        ++stats_.skipped_cooldown;
+        ++newly_skipped;
+        continue;
+      }
+      candidates.push_back(
+          {i, columns_[i].name, static_cast<double>(since)});
+    }
   }
-  if (budget == 0) return plan;
+
+  if (newly_skipped > 0 && obs::Enabled()) {
+    static obs::Counter* skipped = obs::Metrics().GetCounter(
+        "sched.recompress.skipped_cooldown", "columns",
+        "rebuild candidates skipped because the column was rebuilt "
+        "within the cooldown window");
+    skipped->Increment(newly_skipped);
+  }
+  if (candidates.empty()) return plan;
 
   // Rank eligible columns by expected payoff: big dictionaries that have
   // not been rebuilt for a while and see little traffic reclaim the most
@@ -255,29 +297,17 @@ RecompressionScheduler::TickPlan RecompressionScheduler::PlanTick(
   // counters (the fallback for unbound columns) cannot tell the two apart.
   struct Ranked {
     size_t index;
+    std::string name;
     double score;
     double heat;
     uint64_t dict_bytes;
     double staleness;
   };
   std::vector<Ranked> ranked;
-  ranked.reserve(columns_.size());
-  for (size_t i = 0; i < columns_.size(); ++i) {
-    if (columns_[i].in_flight) continue;
-    const int64_t since = tick_ - columns_[i].last_rebuild_tick;
-    if (since < static_cast<int64_t>(options_.cooldown_ticks)) {
-      ++stats_.skipped_cooldown;
-      if (obs::Enabled()) {
-        static obs::Counter* skipped = obs::Metrics().GetCounter(
-            "sched.recompress.skipped_cooldown", "columns",
-            "rebuild candidates skipped because the column was rebuilt "
-            "within the cooldown window");
-        skipped->Increment();
-      }
-      continue;
-    }
+  ranked.reserve(candidates.size());
+  for (Candidate& candidate : candidates) {
     const std::shared_ptr<const StringColumn> snapshot =
-        table_->string_column(i).Snapshot();
+        table_->string_column(candidate.index).Snapshot();
     double traffic_signal;
     if (snapshot->heat() != nullptr) {
       traffic_signal = snapshot->heat()->DecayedHeat();
@@ -287,11 +317,11 @@ RecompressionScheduler::TickPlan RecompressionScheduler::PlanTick(
       traffic_signal =
           static_cast<double>(usage.num_extracts + usage.num_locates);
     }
-    const double staleness = static_cast<double>(since);
     const double score = static_cast<double>(snapshot->DictionaryBytes()) *
-                         staleness / (1.0 + traffic_signal);
-    ranked.push_back(
-        {i, score, traffic_signal, snapshot->DictionaryBytes(), staleness});
+                         candidate.staleness / (1.0 + traffic_signal);
+    ranked.push_back({candidate.index, std::move(candidate.name), score,
+                      traffic_signal, snapshot->DictionaryBytes(),
+                      candidate.staleness});
   }
   std::sort(ranked.begin(), ranked.end(), [](const Ranked& a, const Ranked& b) {
     return a.score > b.score || (a.score == b.score && a.index < b.index);
@@ -300,19 +330,25 @@ RecompressionScheduler::TickPlan RecompressionScheduler::PlanTick(
     std::vector<obs::SchedulerRankEntry> entries;
     entries.reserve(ranked.size());
     for (const Ranked& r : ranked) {
-      entries.push_back({columns_[r.index].name, r.score, r.heat,
-                         r.dict_bytes, r.staleness});
+      entries.push_back({r.name, r.score, r.heat, r.dict_bytes, r.staleness});
     }
     obs::Profiler().RecordSchedulerRanking(std::move(entries));
   }
-  for (const Ranked& r : ranked) {
-    if (plan.rebuild_columns.size() >= budget) break;
-    columns_[r.index].in_flight = true;
-    plan.rebuild_columns.push_back(r.index);
-  }
-  if (!plan.rebuild_columns.empty()) {
-    std::lock_guard<std::mutex> drain_lock(drain_mutex_);
-    pending_rebuilds_ += static_cast<int>(plan.rebuild_columns.size());
+
+  {
+    MutexLock lock(&mutex_);
+    for (const Ranked& r : ranked) {
+      if (plan.rebuild_columns.size() >= budget) break;
+      // Re-check under the lock: a synchronous FinishRebuild or a racing
+      // tick could have marked the column in flight between the phases.
+      if (columns_[r.index].in_flight) continue;
+      columns_[r.index].in_flight = true;
+      plan.rebuild_columns.push_back(r.index);
+    }
+    if (!plan.rebuild_columns.empty()) {
+      MutexLock drain_lock(&drain_mutex_);
+      pending_rebuilds_ += static_cast<int>(plan.rebuild_columns.size());
+    }
   }
   return plan;
 }
@@ -479,6 +515,7 @@ void RecompressionScheduler::FinishRebuild(size_t index,
                                            RebuildOutcome outcome,
                                            uint64_t reclaimed_bytes,
                                            bool progress) {
+  bool entered_backoff = false;
   {
     MutexLock lock(&mutex_);
     columns_[index].in_flight = false;
@@ -511,20 +548,23 @@ void RecompressionScheduler::FinishRebuild(size_t index,
             tick_ + static_cast<int64_t>(options_.backoff_ticks);
         consecutive_stalls_ = 0;
         ++stats_.backoffs;
-        if (obs::Enabled()) {
-          static obs::Counter* backoffs = obs::Metrics().GetCounter(
-              "sched.recompress.backoff", "periods",
-              "backoff periods entered after rebuilds stopped reclaiming");
-          backoffs->Increment();
-        }
+        entered_backoff = true;
       }
     }
   }
+  // Metric emission after release: the state lock (core stratum) is below
+  // the metrics registry (obs) in the lock hierarchy.
+  if (entered_backoff && obs::Enabled()) {
+    static obs::Counter* backoffs = obs::Metrics().GetCounter(
+        "sched.recompress.backoff", "periods",
+        "backoff periods entered after rebuilds stopped reclaiming");
+    backoffs->Increment();
+  }
   {
-    std::lock_guard<std::mutex> drain_lock(drain_mutex_);
+    MutexLock drain_lock(&drain_mutex_);
     --pending_rebuilds_;
   }
-  drain_cv_.notify_all();
+  drain_mutex_.NotifyAll();
 }
 
 }  // namespace adict

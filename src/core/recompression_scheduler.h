@@ -50,16 +50,17 @@
 // Thread safety: OnSample is called from the sampler thread, rebuilds run
 // on pool threads, stats/level readers on any thread; all mutable state is
 // guarded by one annotated mutex (never held across a rebuild — only
-// across bookkeeping).
+// across bookkeeping). Both scheduler locks are ranked in the core stratum
+// of docs/lock_hierarchy.md, which is *below* obs: no observability call
+// (heat reads, metrics registration, profiler rankings) may happen while
+// either is held — PlanTick stages its work around that rule.
 #ifndef ADICT_CORE_RECOMPRESSION_SCHEDULER_H_
 #define ADICT_CORE_RECOMPRESSION_SCHEDULER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -228,7 +229,8 @@ class RecompressionScheduler {
   std::atomic<bool> stop_{false};
   std::atomic<bool> paused_{false};
 
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{LockRank::kSchedulerState,
+                       "RecompressionScheduler.mutex_"};
   std::vector<ColumnState> columns_ ADICT_GUARDED_BY(mutex_);
   Stats stats_ ADICT_GUARDED_BY(mutex_);
   int64_t tick_ ADICT_GUARDED_BY(mutex_) = 0;
@@ -238,12 +240,11 @@ class RecompressionScheduler {
   int64_t backoff_until_tick_ ADICT_GUARDED_BY(mutex_) = -1;
   std::function<void(PressureLevel)> pressure_hook_ ADICT_GUARDED_BY(mutex_);
 
-  // Drain signalling on a bare std::mutex + cv (the annotated Mutex has no
-  // cv API, and std::mutex cannot carry capability annotations):
-  // pending_rebuilds_ is written and read exclusively under drain_mutex_.
-  std::mutex drain_mutex_;
-  std::condition_variable drain_cv_;
-  int pending_rebuilds_ = 0;
+  // Drain signalling. Ranked below mutex_ (PlanTick registers pending
+  // rebuilds while still holding the state lock) and above nothing else.
+  mutable MutexCv drain_mutex_{LockRank::kSchedulerDrain,
+                               "RecompressionScheduler.drain_mutex_"};
+  int pending_rebuilds_ ADICT_GUARDED_BY(drain_mutex_) = 0;
 
   std::unique_ptr<MemorySampler> sampler_;  // set by AttachSampler
 };

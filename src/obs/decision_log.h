@@ -159,7 +159,7 @@ class DecisionLog {
 
  private:
   const size_t capacity_;
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{LockRank::kDecisionLog, "DecisionLog.mutex_"};
   std::deque<DecisionRecord> ring_ ADICT_GUARDED_BY(mutex_);  // oldest first
   uint64_t next_sequence_ ADICT_GUARDED_BY(mutex_) = 1;
   uint64_t evicted_ ADICT_GUARDED_BY(mutex_) = 0;

@@ -225,8 +225,11 @@ void HttpExporter::Stop() {
   {
     // Drain in-flight handlers so a caller tearing down right after Stop
     // cannot yank state out from under a request that is still rendering.
-    std::unique_lock<std::mutex> lock(drain_mutex_);
-    drain_cv_.wait(lock, [this] { return active_handlers_ == 0; });
+    MutexLock lock(&drain_mutex_);
+    drain_mutex_.Await([this]() ADICT_CV_PREDICATE {
+      // active_handlers_ is guarded by drain_mutex_, held via Await.
+      return active_handlers_ == 0;
+    });
   }
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
@@ -240,13 +243,13 @@ void HttpExporter::AcceptLoop() {
     const int client = AcceptWithTimeout(listen_fd_, /*timeout_ms=*/100);
     if (client < 0) continue;
     {
-      std::lock_guard<std::mutex> lock(drain_mutex_);
+      MutexLock lock(&drain_mutex_);
       ++active_handlers_;
     }
     Pool().Submit([this, client] {
       HandleConnection(client);
-      std::lock_guard<std::mutex> lock(drain_mutex_);
-      if (--active_handlers_ == 0) drain_cv_.notify_all();
+      MutexLock lock(&drain_mutex_);
+      if (--active_handlers_ == 0) drain_mutex_.NotifyAll();
     });
   }
 }

@@ -39,13 +39,13 @@
 #define ADICT_OBS_HTTP_EXPORTER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <thread>
 
+#include "util/lock_rank.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace adict {
 namespace obs {
@@ -94,10 +94,9 @@ class HttpExporter {
   std::thread accept_thread_;
 
   // In-flight handler drain (same discipline as the recompression
-  // scheduler): the counter is only touched under drain_mutex_.
-  std::mutex drain_mutex_;
-  std::condition_variable drain_cv_;
-  int active_handlers_ = 0;
+  // scheduler).
+  MutexCv drain_mutex_{LockRank::kExporterDrain, "HttpExporter.drain_mutex_"};
+  int active_handlers_ ADICT_GUARDED_BY(drain_mutex_) = 0;
 };
 
 }  // namespace obs

@@ -143,7 +143,8 @@ class MetricsRegistry {
                      std::string_view labels,
                      std::span<const double> bounds) ADICT_EXCLUDES(mutex_);
 
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{LockRank::kMetricsRegistry,
+                       "MetricsRegistry.mutex_"};
   // Node-based map: Entry addresses are stable across insertions. The map
   // is guarded; the Counter/Gauge/Histogram values inside an Entry are
   // lock-free atomics and are deliberately read/written without the mutex.

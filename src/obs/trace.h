@@ -110,7 +110,7 @@ class Tracer {
   /// never be confused with a later one allocated at the same address.
   const uint64_t id_;
 
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{LockRank::kTraceBuffers, "Tracer.mutex_"};
   // The vector of registrations is guarded; each ThreadBuffer's contents
   // are written lock-free by the owning thread and published through
   // `committed` (release/acquire), so they are deliberately unguarded.

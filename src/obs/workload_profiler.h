@@ -119,7 +119,8 @@ class ColumnHeat {
   std::array<std::atomic<double>, kNumColumnOps> total_us_{};
   std::array<Histogram, kNumColumnOps> latency_;
 
-  mutable Mutex decay_mutex_;
+  mutable Mutex decay_mutex_{LockRank::kColumnHeatDecay,
+                             "ColumnHeat.decay_mutex_"};
   mutable double heat_ ADICT_GUARDED_BY(decay_mutex_) = 0;
   mutable uint64_t folded_ops_ ADICT_GUARDED_BY(decay_mutex_) = 0;
   mutable double last_fold_seconds_ ADICT_GUARDED_BY(decay_mutex_) = 0;
@@ -245,7 +246,8 @@ class WorkloadProfiler {
   void ResetValues() ADICT_EXCLUDES(mutex_);
 
  private:
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{LockRank::kProfilerState,
+                       "WorkloadProfiler.mutex_"};
   // Node-based map: ColumnHeat addresses are stable across insertions.
   std::map<std::string, ColumnHeat, std::less<>> columns_
       ADICT_GUARDED_BY(mutex_);

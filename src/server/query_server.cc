@@ -128,8 +128,11 @@ void QueryServer::Stop() {
     // Drain: every handler's RecvExact polls the stop flag; a request that
     // is already executing finishes and its response is sent before the
     // handler exits (the shutdown test proves the client still gets it).
-    std::unique_lock<std::mutex> lock(drain_mutex_);
-    drain_cv_.wait(lock, [this] { return active_connections_ == 0; });
+    MutexLock lock(&drain_mutex_);
+    drain_mutex_.Await([this]() ADICT_CV_PREDICATE {
+      // active_connections_ is guarded by drain_mutex_, held via Await.
+      return active_connections_ == 0;
+    });
   }
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
@@ -164,7 +167,7 @@ void QueryServer::AcceptLoop() {
     if (client < 0) continue;
     bool admitted = false;
     {
-      std::lock_guard<std::mutex> lock(drain_mutex_);
+      MutexLock lock(&drain_mutex_);
       if (active_connections_ < options_.max_connections) {
         ++active_connections_;
         admitted = true;
@@ -189,8 +192,8 @@ void QueryServer::AcceptLoop() {
                      "connections accepted and served");
     std::thread([this, client] {
       HandleConnection(client);
-      std::lock_guard<std::mutex> lock(drain_mutex_);
-      if (--active_connections_ == 0) drain_cv_.notify_all();
+      MutexLock lock(&drain_mutex_);
+      if (--active_connections_ == 0) drain_mutex_.NotifyAll();
     }).detach();
   }
 }
@@ -200,7 +203,7 @@ void QueryServer::HandleConnection(int fd) {
     static obs::Gauge* active = obs::Metrics().GetGauge(
         "server.connections.active", "connections",
         "query-server connections currently open");
-    std::lock_guard<std::mutex> lock(drain_mutex_);
+    MutexLock lock(&drain_mutex_);
     active->Set(static_cast<double>(active_connections_));
   }
   uint64_t requests_served = 0;

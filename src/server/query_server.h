@@ -35,9 +35,7 @@
 #define ADICT_SERVER_QUERY_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -45,7 +43,9 @@
 
 #include "server/protocol.h"
 #include "server/result_cache.h"
+#include "util/lock_rank.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace adict {
 
@@ -167,12 +167,11 @@ class QueryServer {
   std::atomic<uint64_t> frame_errors_{0};
 
   // Connection-handler drain (same discipline as the HTTP exporter):
-  // handler threads are detached, the count is only touched under
-  // drain_mutex_, and Stop() waits for it to reach zero after setting the
-  // stop flag (which every handler's RecvExact polls).
-  std::mutex drain_mutex_;
-  std::condition_variable drain_cv_;
-  int active_connections_ = 0;
+  // handler threads are detached, and Stop() waits for the count to reach
+  // zero after setting the stop flag (which every handler's RecvExact
+  // polls).
+  MutexCv drain_mutex_{LockRank::kServerDrain, "QueryServer.drain_mutex_"};
+  int active_connections_ ADICT_GUARDED_BY(drain_mutex_) = 0;
 };
 
 }  // namespace adict

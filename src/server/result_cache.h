@@ -93,7 +93,7 @@ class ResultCache {
   void PublishOccupancyMetrics() ADICT_REQUIRES(mutex_);
 
   const Options options_;
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{LockRank::kResultCache, "ResultCache.mutex_"};
   /// Front = most recently used.
   std::list<Entry> lru_ ADICT_GUARDED_BY(mutex_);
   std::unordered_map<uint64_t, std::list<Entry>::iterator> index_

@@ -336,7 +336,8 @@ class VersionedStringColumn {
   }
 
  private:
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{LockRank::kColumnVersion,
+                       "VersionedStringColumn.mutex_"};
   std::shared_ptr<StringColumn> current_ ADICT_GUARDED_BY(mutex_);
   std::atomic<uint64_t> epoch_{0};
 };

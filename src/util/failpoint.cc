@@ -116,7 +116,7 @@ class Registry {
     }
   }
 
-  Mutex mutex_;
+  Mutex mutex_{LockRank::kFailpointRegistry, "FailPointRegistry.mutex_"};
   std::unordered_map<std::string, PointState> points_ ADICT_GUARDED_BY(mutex_);
   uint64_t rng_state_ ADICT_GUARDED_BY(mutex_) = 0x5DEECE66Dull;
 };

@@ -232,7 +232,7 @@ MemorySampler::~MemorySampler() { Stop(); }
 void MemorySampler::Start() {
   if (running_.load(std::memory_order_acquire)) return;
   {
-    std::lock_guard<std::mutex> lock(wake_mutex_);
+    MutexLock lock(&wake_mutex_);
     stop_requested_ = false;
   }
   running_.store(true, std::memory_order_release);
@@ -244,10 +244,10 @@ void MemorySampler::Start() {
 
 void MemorySampler::Stop() {
   {
-    std::lock_guard<std::mutex> lock(wake_mutex_);
+    MutexLock lock(&wake_mutex_);
     stop_requested_ = true;
   }
-  wake_cv_.notify_all();
+  wake_mutex_.NotifyAll();
   if (thread_.joinable()) thread_.join();
   running_.store(false, std::memory_order_release);
 }
@@ -257,9 +257,13 @@ void MemorySampler::SampleNow() { Tick(); }
 void MemorySampler::Loop() {
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(wake_mutex_);
-      if (wake_cv_.wait_for(lock, std::chrono::milliseconds(period_millis_),
-                            [this] { return stop_requested_; })) {
+      MutexLock lock(&wake_mutex_);
+      if (wake_mutex_.AwaitFor(std::chrono::milliseconds(period_millis_),
+                               [this]() ADICT_CV_PREDICATE {
+                                 // stop_requested_ is guarded by
+                                 // wake_mutex_, held via AwaitFor.
+                                 return stop_requested_;
+                               })) {
         return;
       }
     }

@@ -32,16 +32,16 @@
 #define ADICT_UTIL_MEMORY_PRESSURE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
 
+#include "util/lock_rank.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace adict {
 
@@ -190,12 +190,10 @@ class MemorySampler {
   Callback callback_;
   uint64_t period_millis_;
 
-  // Sleep/wake plumbing, same shape as ThreadPool's: a bare std::mutex
-  // (which cannot carry capability annotations) only parks the loop;
-  // stop_requested_ is written and read exclusively under wake_mutex_.
-  std::mutex wake_mutex_;
-  std::condition_variable wake_cv_;
-  bool stop_requested_ = false;
+  // Sleep/wake plumbing, same shape as ThreadPool's: the cv only parks the
+  // loop between polls; Stop() flips the flag under the lock and wakes it.
+  MutexCv wake_mutex_{LockRank::kSamplerWake, "MemorySampler.wake_mutex_"};
+  bool stop_requested_ ADICT_GUARDED_BY(wake_mutex_) = false;
   std::atomic<bool> running_{false};
   std::thread thread_;
 

@@ -20,8 +20,7 @@ struct ForState {
 
   std::atomic<uint64_t> next{0};  // morsel cursor
   std::atomic<uint64_t> done{0};  // completed chunks
-  std::mutex mutex;
-  std::condition_variable cv;
+  MutexCv mutex{LockRank::kPoolForState, "ThreadPool.ForState.mutex"};
 
   // Drains the shared cursor: the morsel-at-a-time load balancing. Chunk
   // boundaries are a pure function of (begin, end, grain), so results
@@ -36,8 +35,8 @@ struct ForState {
       if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == num_chunks) {
         // Empty critical section: pairs with the waiter's predicate check
         // under the same mutex so the final notify cannot be missed.
-        { std::lock_guard<std::mutex> lock(mutex); }
-        cv.notify_all();
+        { MutexLock lock(&mutex); }
+        mutex.NotifyAll();
       }
     }
   }
@@ -62,9 +61,9 @@ ThreadPool::~ThreadPool() {
   {
     // Empty critical section: a worker that checked stop_ and is about to
     // wait must observe the notify.
-    std::lock_guard<std::mutex> lock(wake_mutex_);
+    MutexLock lock(&wake_mutex_);
   }
-  wake_cv_.notify_all();
+  wake_mutex_.NotifyAll();
   for (std::thread& thread : threads_) thread.join();
 }
 
@@ -80,7 +79,7 @@ void ThreadPool::Submit(std::function<void()> task) {
     workers_[index]->tasks.push_back(std::move(task));
   }
   queued_.fetch_add(1, std::memory_order_release);
-  wake_cv_.notify_one();
+  wake_mutex_.NotifyOne();
 }
 
 bool ThreadPool::PopTask(size_t index, std::function<void()>* task,
@@ -121,9 +120,9 @@ void ThreadPool::WorkerLoop(size_t index) {
       task();
       continue;
     }
-    std::unique_lock<std::mutex> lock(wake_mutex_);
+    MutexLock lock(&wake_mutex_);
     if (stop_.load(std::memory_order_acquire)) return;
-    wake_cv_.wait(lock, [this] {
+    wake_mutex_.Await([this] {
       return stop_.load(std::memory_order_acquire) ||
              queued_.load(std::memory_order_acquire) > 0;
     });
@@ -160,8 +159,8 @@ void ThreadPool::ParallelFor(uint64_t begin, uint64_t end, uint64_t grain,
     Submit([state] { state->Drain(); });
   }
   state->Drain();
-  std::unique_lock<std::mutex> lock(state->mutex);
-  state->cv.wait(lock, [&state] {
+  MutexLock lock(&state->mutex);
+  state->mutex.Await([&state] {
     return state->done.load(std::memory_order_acquire) == state->num_chunks;
   });
 }
@@ -173,7 +172,9 @@ namespace {
 // the pool to be quiescent (no thread inside it, none about to enter), so
 // every allowed schedule orders the swap before the next lock-free read.
 std::atomic<ThreadPool*> g_pool{nullptr};
-std::mutex g_pool_mutex;
+// Ranked above kPoolWake: SetPoolParallelism deletes the old pool while
+// holding this lock, and ~ThreadPool takes the wake mutex to stop workers.
+Mutex g_pool_mutex{LockRank::kPoolRegistry, "thread_pool.g_pool_mutex"};
 
 }  // namespace
 
@@ -190,7 +191,7 @@ size_t DefaultPoolParallelism() {
 ThreadPool& Pool() {
   ThreadPool* pool = g_pool.load(std::memory_order_acquire);
   if (pool != nullptr) return *pool;
-  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  MutexLock lock(&g_pool_mutex);
   pool = g_pool.load(std::memory_order_relaxed);
   if (pool == nullptr) {
     pool = new ThreadPool(DefaultPoolParallelism());  // never destroyed
@@ -202,7 +203,7 @@ ThreadPool& Pool() {
 size_t PoolParallelism() { return Pool().parallelism(); }
 
 void SetPoolParallelism(size_t parallelism) {
-  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  MutexLock lock(&g_pool_mutex);
   ThreadPool* old = g_pool.load(std::memory_order_relaxed);
   g_pool.store(new ThreadPool(parallelism == 0 ? DefaultPoolParallelism()
                                                : parallelism),

@@ -28,15 +28,14 @@
 #define ADICT_UTIL_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "util/lock_rank.h"
 #include "util/thread_annotations.h"
 
 namespace adict {
@@ -85,7 +84,7 @@ class ThreadPool {
   /// front (FIFO), both under the worker's own mutex — contention is per
   /// worker, not global.
   struct Worker {
-    Mutex mutex;
+    Mutex mutex{LockRank::kPoolWorker, "ThreadPool.Worker.mutex"};
     std::deque<std::function<void()>> tasks ADICT_GUARDED_BY(mutex);
   };
 
@@ -101,8 +100,7 @@ class ThreadPool {
   // Sleep/wake plumbing. The condition variable guards no pool data — the
   // deques have their own mutexes — it only parks idle workers; the
   // predicate reads the atomics below.
-  std::mutex wake_mutex_;
-  std::condition_variable wake_cv_;
+  MutexCv wake_mutex_{LockRank::kPoolWake, "ThreadPool.wake_mutex_"};
   std::atomic<bool> stop_{false};
   std::atomic<uint64_t> queued_{0};     // submitted, not yet popped
   std::atomic<uint64_t> next_queue_{0}; // round-robin submit cursor

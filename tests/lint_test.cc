@@ -219,6 +219,45 @@ Per-format counters: `manager.chosen.array` and `manager.chosen.fc_block`.
     // The lint also scans examples/ and bench/ for spans.
     Write("examples/README.md", "placeholder\n");
     Write("bench/README.md", "placeholder\n");
+    // The locks check: a two-rank hierarchy (core and server strata), one
+    // ranked mutex per stratum, and the doc table that mirrors them.
+    Write("src/util/lock_rank.h", R"lint(
+enum class LockStratum : int {
+  kUtil = 0,
+  kCore = 2,
+  kServer = 4,
+};
+inline constexpr int kLockStratumWidth = 100;
+enum class LockRank : int {
+  kMiniCore = 210,
+  kMiniServer = 410,
+};
+)lint");
+    Write("src/util/lock_rank.cc", R"lint(
+const char* LockRankName(LockRank rank) {
+  switch (rank) {
+    case LockRank::kMiniCore: return "kMiniCore";
+    case LockRank::kMiniServer: return "kMiniServer";
+  }
+  return "";
+}
+)lint");
+    Write("src/core/mini_locks.h", R"lint(
+class MiniScheduler {
+ private:
+  mutable Mutex mutex_{LockRank::kMiniCore, "MiniScheduler.mutex_"};
+};
+)lint");
+    Append("src/server/query_server.cc", R"lint(
+MutexCv drain_mutex_{LockRank::kMiniServer, "MiniServer.drain_mutex_"};
+)lint");
+    Write("docs/lock_hierarchy.md", R"lint(# Lock hierarchy
+
+| Mutex | Rank | Value | Stratum | File | Guards | May call while held |
+|---|---|---|---|---|---|---|
+| `MiniServer.drain_mutex_` | `kMiniServer` | 410 | server | `src/server/query_server.cc` | drain count | nothing |
+| `MiniScheduler.mutex_` | `kMiniCore` | 210 | core | `src/core/mini_locks.h` | scheduler state | core and below |
+)lint");
   }
 
   fs::path root_;
@@ -494,6 +533,145 @@ TEST_F(LintTest, BaselineMissingFormatRows) {
   EXPECT_EQ(result.exit_code, 1) << result.output;
   EXPECT_NE(result.output.find("format \"fc block\" (DictFormat::kFcBlock) "
                                "has no rows in the committed perf baseline"),
+            std::string::npos)
+      << result.output;
+}
+
+// --- locks: the lock-hierarchy consistency pass ------------------------
+
+// A Mutex member without a {LockRank::..., "name"} initializer is
+// invisible to the deadlock detector and must be flagged at its
+// declaration.
+TEST_F(LintTest, LocksUnrankedMutex) {
+  Append("src/core/mini_locks.h", R"lint(
+class Sloppy {
+  Mutex naked_;
+};
+)lint");
+  const LintResult result = RunLint(root_);
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find("Mutex member \"naked_\" declares no rank"),
+            std::string::npos)
+      << result.output;
+}
+
+// Raw standard-library primitives bypass the hierarchy entirely; only
+// thread_annotations.h and lock_rank.* may use them.
+TEST_F(LintTest, LocksRawStdMutexInSrc) {
+  Append("src/core/mini_locks.h", R"lint(
+class Rogue {
+  std::mutex raw_;
+};
+)lint");
+  const LintResult result = RunLint(root_);
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find("raw std::mutex"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("ranked Mutex/MutexCv"), std::string::npos)
+      << result.output;
+}
+
+// A server-stratum rank on a mutex declared in src/core/ violates the
+// strata bands: the rank's value must match the subsystem directory.
+TEST_F(LintTest, LocksMisrankedMutex) {
+  Write("src/core/mini_locks.h", R"lint(
+class MiniScheduler {
+ private:
+  mutable Mutex mutex_{LockRank::kMiniServer, "MiniScheduler.mutex_"};
+};
+)lint");
+  // Keep both surfaces of kMiniCore consistent so only the stratum
+  // violation (and the doc-rank mismatch) fires.
+  const LintResult result = RunLint(root_);
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find("has rank kMiniServer (value 410, stratum "
+                               "server) but is declared in src/core/"),
+            std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find(
+                "core-stratum locks must use a rank in [200, 300)"),
+            std::string::npos)
+      << result.output;
+}
+
+// Every ranked mutex needs a row in the docs/lock_hierarchy.md table.
+TEST_F(LintTest, LocksUndocumentedMutex) {
+  Write("src/util/lock_rank.h", R"lint(
+enum class LockStratum : int {
+  kUtil = 0,
+  kCore = 2,
+  kServer = 4,
+};
+inline constexpr int kLockStratumWidth = 100;
+enum class LockRank : int {
+  kMiniCore = 210,
+  kMiniExtra = 220,
+  kMiniServer = 410,
+};
+)lint");
+  Append("src/util/lock_rank.cc", R"lint(
+const char* AlsoName(LockRank rank) {
+  switch (rank) {
+    case LockRank::kMiniExtra: return "kMiniExtra";
+  }
+  return "";
+}
+)lint");
+  Append("src/core/mini_locks.h", R"lint(
+class Undocumented {
+  Mutex extra_{LockRank::kMiniExtra, "Undocumented.extra_"};
+};
+)lint");
+  const LintResult result = RunLint(root_);
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find(
+                "mutex \"Undocumented.extra_\" (rank kMiniExtra) has no row "
+                "in the docs/lock_hierarchy.md rank table"),
+            std::string::npos)
+      << result.output;
+}
+
+// And the reverse: a table row for a mutex that no longer exists is stale.
+TEST_F(LintTest, LocksStaleDocRow) {
+  Append("docs/lock_hierarchy.md",
+         "| `Ghost.mutex_` | `kMiniCore` | 210 | core | `src/core/g.h` | "
+         "nothing | nothing |\n");
+  const LintResult result = RunLint(root_);
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find("rank table documents mutex \"Ghost.mutex_\", "
+                               "which is not declared anywhere in src/"),
+            std::string::npos)
+      << result.output;
+}
+
+// A rank in the enum that no declaration uses is dead weight (or a typo'd
+// migration) and must be flagged.
+TEST_F(LintTest, LocksDeadRankInEnum) {
+  Write("src/util/lock_rank.h", R"lint(
+enum class LockStratum : int {
+  kUtil = 0,
+  kCore = 2,
+  kServer = 4,
+};
+inline constexpr int kLockStratumWidth = 100;
+enum class LockRank : int {
+  kMiniCore = 210,
+  kMiniServer = 410,
+  kMiniUnused = 420,
+};
+)lint");
+  Append("src/util/lock_rank.cc", R"lint(
+const char* AlsoName(LockRank rank) {
+  switch (rank) {
+    case LockRank::kMiniUnused: return "kMiniUnused";
+  }
+  return "";
+}
+)lint");
+  const LintResult result = RunLint(root_);
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find("LockRank::kMiniUnused is in the enum but no "
+                               "Mutex/MutexCv declaration uses it"),
             std::string::npos)
       << result.output;
 }

@@ -722,6 +722,262 @@ def check_serving(root: Path, rep: Reporter) -> None:
 
 
 # ---------------------------------------------------------------------------
+# locks: ranked mutexes <-> lock-rank enum <-> docs/lock_hierarchy.md
+#
+# The lock hierarchy (util/lock_rank.h, enforced at runtime by the debug
+# deadlock detector) only works if every mutex in the tree participates.
+# This check keeps the three surfaces in lockstep:
+#   - every Mutex/MutexCv declaration in src/ carries a LockRank and a name,
+#     and no raw std::mutex & friends exist outside thread_annotations.h /
+#     lock_rank.* (an unranked lock is invisible to the detector);
+#   - every rank a declaration uses exists in the enum, every enum rank is
+#     used by some declaration, and rank values sit in the stratum band
+#     matching the declaring file's src/<subsystem>/ directory;
+#   - the docs/lock_hierarchy.md rank table has exactly one row per declared
+#     mutex, with the rank, value, and stratum the code declares (and no
+#     stale rows);
+#   - every enum member has a case in LockRankName() (lock_rank.cc).
+
+
+_RAW_MUTEX_RE = re.compile(
+    r"\bstd::(?:mutex|recursive_mutex|shared_mutex|timed_mutex|"
+    r"recursive_timed_mutex|condition_variable(?:_any)?|lock_guard|"
+    r"unique_lock|scoped_lock|shared_lock)\b"
+)
+
+# A Mutex/MutexCv variable declaration, with its optional brace initializer.
+# `Mutex\s+\w+` cannot match MutexLock (no whitespace mid-word) or pointer /
+# reference parameters (`Mutex*`, `Mutex&`).
+_MUTEX_DECL_RE = re.compile(
+    r"\b(?:mutable\s+)?(Mutex|MutexCv)\s+(\w+)\s*(\{[^}]*\})?\s*;"
+)
+
+_LOCKS_EXEMPT = {
+    "src/util/thread_annotations.h",
+    "src/util/lock_rank.h",
+    "src/util/lock_rank.cc",
+}
+
+
+def parse_lock_ranks(root: Path) -> tuple[dict[str, int], dict[int, str], int]:
+    """(rank name -> value, stratum band -> name, stratum width)."""
+    path = root / "src/util/lock_rank.h"
+    text = read_text(path)
+    match = re.search(r"enum class LockRank : int \{(.*?)\};", text, re.S)
+    if not match:
+        raise LintError(f"{path}: cannot find `enum class LockRank`")
+    ranks = {
+        name: int(value)
+        for name, value in re.findall(
+            r"(k\w+)\s*=\s*(\d+)", strip_comments(match.group(1))
+        )
+    }
+    if not ranks:
+        raise LintError(f"{path}: LockRank enum parsed to zero members")
+    match = re.search(r"enum class LockStratum : int \{(.*?)\};", text, re.S)
+    if not match:
+        raise LintError(f"{path}: cannot find `enum class LockStratum`")
+    strata = {
+        int(value): name.lower()
+        for name, value in re.findall(
+            r"k(\w+)\s*=\s*(\d+)", strip_comments(match.group(1))
+        )
+    }
+    if not strata:
+        raise LintError(f"{path}: LockStratum enum parsed to zero members")
+    match = re.search(r"kLockStratumWidth\s*=\s*(\d+)", text)
+    if not match:
+        raise LintError(f"{path}: cannot find kLockStratumWidth")
+    return ranks, strata, int(match.group(1))
+
+
+def parse_lock_table(root: Path) -> dict[str, tuple[int, str, int, str]]:
+    """docs/lock_hierarchy.md rank-table rows:
+    mutex name -> (line, rank name, rank value, stratum)."""
+    path = root / "docs/lock_hierarchy.md"
+    text = read_text(path)
+    rows: dict[str, tuple[int, str, int, str]] = {}
+    row_re = re.compile(
+        r"^\|\s*`([^`]+)`\s*\|\s*`(k\w+)`\s*\|\s*(\d+)\s*\|\s*(\w+)\s*\|",
+        re.M,
+    )
+    for match in row_re.finditer(text):
+        name = match.group(1)
+        if name in rows:
+            raise LintError(
+                f"{path}: duplicate rank-table row for mutex \"{name}\""
+            )
+        rows[name] = (
+            line_of(text, match.start()),
+            match.group(2),
+            int(match.group(3)),
+            match.group(4).lower(),
+        )
+    if not rows:
+        raise LintError(f"{path}: cannot parse any rank-table rows")
+    return rows
+
+
+def check_locks(root: Path, rep: Reporter) -> None:
+    check = "locks"
+    ranks, strata, width = parse_lock_ranks(root)
+    doc_path = root / "docs/lock_hierarchy.md"
+    doc_rows = parse_lock_table(root)
+
+    def stratum_of(value: int) -> str:
+        return strata.get(value // width, f"(no stratum band {value // width})")
+
+    # One entry per declared mutex: quoted name -> (path, line, rank name).
+    declared: dict[str, tuple[Path, int, str]] = {}
+    used_ranks: set[str] = set()
+
+    sources = sorted((root / "src").rglob("*.h")) + sorted(
+        (root / "src").rglob("*.cc")
+    )
+    for path in sources:
+        rel = path.relative_to(root).as_posix()
+        if rel in _LOCKS_EXEMPT:
+            continue
+        text = strip_comments(read_text(path))
+
+        for match in _RAW_MUTEX_RE.finditer(text):
+            rep.report(
+                path, line_of(text, match.start()), check,
+                f"raw {match.group(0)} — only thread_annotations.h and "
+                f"lock_rank.* may use unranked primitives; use the ranked "
+                f"Mutex/MutexCv wrappers (docs/lock_hierarchy.md)",
+            )
+
+        for match in _MUTEX_DECL_RE.finditer(text):
+            kind, var, init = match.group(1), match.group(2), match.group(3)
+            line = line_of(text, match.start())
+            rank_match = re.search(r"LockRank::(k\w+)", init or "")
+            name_match = re.search(r"\"([^\"]+)\"", init or "")
+            if not rank_match:
+                rep.report(
+                    path, line, check,
+                    f"{kind} member \"{var}\" declares no rank — construct "
+                    f"it as {kind} {var}{{LockRank::<rank>, \"<Class>."
+                    f"{var}\"}} and add a docs/lock_hierarchy.md row",
+                )
+                continue
+            rank_name = rank_match.group(1)
+            if rank_name not in ranks:
+                rep.report(
+                    path, line, check,
+                    f"{kind} member \"{var}\" uses LockRank::{rank_name}, "
+                    f"which is not in the LockRank enum",
+                )
+                continue
+            if not name_match:
+                rep.report(
+                    path, line, check,
+                    f"{kind} member \"{var}\" has a rank but no quoted "
+                    f"name; the detector and the doc table key on the name",
+                )
+                continue
+            used_ranks.add(rank_name)
+            qname = name_match.group(1)
+            if qname in declared:
+                other_path, other_line, _ = declared[qname]
+                rep.report(
+                    path, line, check,
+                    f"mutex name \"{qname}\" is also declared at "
+                    f"{other_path}:{other_line}; names must be unique",
+                )
+                continue
+            declared[qname] = (path, line, rank_name)
+
+            # Stratum discipline: the rank's value band must match the
+            # declaring subsystem directory.
+            parts = path.relative_to(root).parts
+            subsystem = parts[1] if len(parts) > 2 else None
+            value = ranks[rank_name]
+            band = stratum_of(value)
+            if subsystem is not None and subsystem in strata.values():
+                if band != subsystem:
+                    lo = next(
+                        k for k, v in strata.items() if v == subsystem
+                    ) * width
+                    rep.report(
+                        path, line, check,
+                        f"mutex \"{qname}\" has rank {rank_name} (value "
+                        f"{value}, stratum {band}) but is declared in "
+                        f"src/{subsystem}/ — {subsystem}-stratum locks must "
+                        f"use a rank in [{lo}, {lo + width})",
+                    )
+            elif subsystem is not None:
+                rep.report(
+                    path, line, check,
+                    f"mutex \"{qname}\" is declared in src/{subsystem}/, "
+                    f"which has no stratum band — extend LockStratum and "
+                    f"docs/lock_hierarchy.md first",
+                )
+
+    # Enum <-> declarations: a rank nobody uses is dead weight (or a typo'd
+    # migration).
+    for rank_name in sorted(ranks):
+        if rank_name not in used_ranks:
+            rep.report(
+                root / "src/util/lock_rank.h", None, check,
+                f"LockRank::{rank_name} is in the enum but no Mutex/MutexCv "
+                f"declaration uses it — remove it or rank the lock it was "
+                f"meant for",
+            )
+
+    # Declarations <-> doc table, both directions, with rank agreement.
+    for qname, (path, line, rank_name) in sorted(declared.items()):
+        if qname not in doc_rows:
+            rep.report(
+                path, line, check,
+                f"mutex \"{qname}\" (rank {rank_name}) has no row in the "
+                f"docs/lock_hierarchy.md rank table — every lock must be "
+                f"documented with what it guards and what it may call",
+            )
+            continue
+        doc_line, doc_rank, doc_value, doc_stratum = doc_rows[qname]
+        if doc_rank != rank_name:
+            rep.report(
+                doc_path, doc_line, check,
+                f"rank table says mutex \"{qname}\" has rank {doc_rank}, "
+                f"but the declaration at {path}:{line} says {rank_name}",
+            )
+        elif doc_value != ranks[rank_name]:
+            rep.report(
+                doc_path, doc_line, check,
+                f"rank table says {doc_rank} = {doc_value}, but the enum "
+                f"says {ranks[rank_name]}",
+            )
+        elif doc_stratum != stratum_of(ranks[rank_name]):
+            rep.report(
+                doc_path, doc_line, check,
+                f"rank table puts mutex \"{qname}\" in stratum "
+                f"\"{doc_stratum}\", but rank {rank_name} is in "
+                f"\"{stratum_of(ranks[rank_name])}\"",
+            )
+    for qname, (doc_line, _, _, _) in sorted(doc_rows.items()):
+        if qname not in declared:
+            rep.report(
+                doc_path, doc_line, check,
+                f"rank table documents mutex \"{qname}\", which is not "
+                f"declared anywhere in src/ — stale row?",
+            )
+
+    # LockRankName() must name every rank (the detector's reports depend on
+    # it; -Wswitch would catch this too, but only in builds that compile the
+    # detector).
+    name_impl = read_text(root / "src/util/lock_rank.cc")
+    cases = set(re.findall(r"case LockRank::(k\w+):", name_impl))
+    for rank_name in sorted(ranks):
+        if rank_name not in cases:
+            rep.report(
+                root / "src/util/lock_rank.cc", None, check,
+                f"LockRank::{rank_name} has no case in LockRankName() — "
+                f"detector reports would print \"(unknown rank)\"",
+            )
+
+
+# ---------------------------------------------------------------------------
 # Driver
 
 
@@ -732,6 +988,7 @@ CHECKS = {
     "endpoints": check_endpoints,
     "nodiscard": check_nodiscard,
     "serving": check_serving,
+    "locks": check_locks,
 }
 
 
